@@ -1,0 +1,300 @@
+//! Dynamic execution profiles.
+//!
+//! The distiller is profile-guided, as in the paper: a training run of the
+//! original program collects per-PC execution counts, branch outcome
+//! counts, and control-flow edge counts. The profile also powers the
+//! workload-characterization experiment (T1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mssp_isa::Program;
+use mssp_machine::{SeqError, SeqMachine, StepInfo};
+
+/// Outcome counts for one conditional branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchCounts {
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Times it fell through.
+    pub not_taken: u64,
+}
+
+impl BranchCounts {
+    /// Total executions of the branch.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+
+    /// The bias toward the dominant direction, in `[0.5, 1.0]`
+    /// (`None` if never executed).
+    #[must_use]
+    pub fn bias(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.taken.max(self.not_taken) as f64 / total as f64)
+        }
+    }
+
+    /// Whether the dominant direction is "taken".
+    #[must_use]
+    pub fn mostly_taken(&self) -> bool {
+        self.taken >= self.not_taken
+    }
+}
+
+/// A dynamic profile of one training run.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::asm::assemble;
+/// use mssp_analysis::Profile;
+///
+/// let p = assemble(
+///     "main: addi a0, zero, 10
+///      loop: addi a0, a0, -1
+///            bnez a0, loop
+///            halt",
+/// ).unwrap();
+/// let profile = Profile::collect(&p, 1_000_000).unwrap();
+/// assert_eq!(profile.dynamic_instructions(), 1 + 10 * 2);
+/// let branch_pc = p.entry() + 8;
+/// assert!(profile.branch(branch_pc).unwrap().bias().unwrap() >= 0.9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    exec: BTreeMap<u64, u64>,
+    branches: BTreeMap<u64, BranchCounts>,
+    edges: BTreeMap<(u64, u64), u64>,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    branch_instrs: u64,
+    /// Word indices ever read by a load.
+    loaded_words: BTreeSet<u64>,
+    /// Per-store-PC footprint of written word indices.
+    store_words: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl Profile {
+    /// An empty profile (used when distilling without training data).
+    #[must_use]
+    pub fn empty() -> Profile {
+        Profile::default()
+    }
+
+    /// Collects a profile by running `program` to completion (or to
+    /// `max_steps`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from the sequential machine.
+    pub fn collect(program: &Program, max_steps: u64) -> Result<Profile, SeqError> {
+        let mut machine = SeqMachine::boot(program);
+        let mut profile = Profile::default();
+        machine.run_observed(max_steps, |info| profile.observe(info))?;
+        Ok(profile)
+    }
+
+    /// Records one executed instruction. Exposed so callers embedding their
+    /// own execution loops (e.g. the MSSP engine's recovery path) can feed
+    /// profiles too.
+    pub fn observe(&mut self, info: &StepInfo) {
+        if info.halted {
+            return;
+        }
+        self.instructions += 1;
+        *self.exec.entry(info.pc).or_insert(0) += 1;
+        *self.edges.entry((info.pc, info.next_pc)).or_insert(0) += 1;
+        if let Some(taken) = info.taken {
+            self.branch_instrs += 1;
+            let counts = self.branches.entry(info.pc).or_default();
+            if taken {
+                counts.taken += 1;
+            } else {
+                counts.not_taken += 1;
+            }
+        }
+        if let Some(mem) = info.mem {
+            let first = mem.addr >> 3;
+            let last = (mem.addr + mem.bytes as u64 - 1) >> 3;
+            if mem.is_store {
+                self.stores += 1;
+                let footprint = self.store_words.entry(info.pc).or_default();
+                footprint.insert(first);
+                footprint.insert(last);
+            } else {
+                self.loads += 1;
+                self.loaded_words.insert(first);
+                self.loaded_words.insert(last);
+            }
+        }
+    }
+
+    /// Total dynamic instructions in the training run.
+    #[must_use]
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Dynamic load count.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Dynamic store count.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Dynamic conditional-branch count.
+    #[must_use]
+    pub fn dynamic_branches(&self) -> u64 {
+        self.branch_instrs
+    }
+
+    /// Times the instruction at `pc` executed.
+    #[must_use]
+    pub fn exec_count(&self, pc: u64) -> u64 {
+        self.exec.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Outcome counts for the branch at `pc`, if it ever executed.
+    #[must_use]
+    pub fn branch(&self, pc: u64) -> Option<BranchCounts> {
+        self.branches.get(&pc).copied()
+    }
+
+    /// Times the dynamic edge `from → to` was traversed.
+    #[must_use]
+    pub fn edge_count(&self, from: u64, to: u64) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(pc, count)` execution counts.
+    pub fn iter_exec(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.exec.iter().map(|(&pc, &n)| (pc, n))
+    }
+
+    /// Iterates over all profiled branches.
+    pub fn iter_branches(&self) -> impl Iterator<Item = (u64, BranchCounts)> + '_ {
+        self.branches.iter().map(|(&pc, &c)| (pc, c))
+    }
+
+    /// Whether the store at `pc` only ever wrote words that no load in
+    /// the training run ever read — a *write-only* store (result buffers,
+    /// logs). The distiller may elide such stores from the master's
+    /// program: slaves still perform them (architected state is
+    /// unaffected), and no slave can consume them as live-ins unless the
+    /// program's runtime behaviour departs from training, in which case
+    /// verification squashes.
+    #[must_use]
+    pub fn store_is_write_only(&self, pc: u64) -> bool {
+        match self.store_words.get(&pc) {
+            Some(words) => words.iter().all(|w| !self.loaded_words.contains(w)),
+            None => false, // never executed: leave it to cold-code elision
+        }
+    }
+
+    /// The average bias of all executed conditional branches, weighted by
+    /// execution count (`None` if the run had no branches). One of the
+    /// workload-characterization columns: high average bias predicts good
+    /// distillability.
+    #[must_use]
+    pub fn weighted_branch_bias(&self) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut total = 0u64;
+        for c in self.branches.values() {
+            weighted += c.bias().unwrap_or(0.5) * c.total() as f64;
+            total += c.total();
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(weighted / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_isa::asm::assemble;
+
+    fn profiled(src: &str) -> (mssp_isa::Program, Profile) {
+        let p = assemble(src).unwrap();
+        let prof = Profile::collect(&p, 1_000_000).unwrap();
+        (p, prof)
+    }
+
+    #[test]
+    fn counts_match_loop_trip_count() {
+        let (p, prof) = profiled(
+            "main: addi a0, zero, 7
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        let loop_pc = p.symbol("loop").unwrap();
+        assert_eq!(prof.exec_count(loop_pc), 7);
+        let b = prof.branch(loop_pc + 4).unwrap();
+        assert_eq!(b.taken, 6);
+        assert_eq!(b.not_taken, 1);
+        assert!(b.mostly_taken());
+        assert_eq!(prof.dynamic_instructions(), 1 + 14);
+    }
+
+    #[test]
+    fn edges_recorded_for_taken_and_fallthrough() {
+        let (p, prof) = profiled(
+            "main: addi a0, zero, 2
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        let loop_pc = p.symbol("loop").unwrap();
+        let branch_pc = loop_pc + 4;
+        assert_eq!(prof.edge_count(branch_pc, loop_pc), 1);
+        assert_eq!(prof.edge_count(branch_pc, branch_pc + 4), 1);
+    }
+
+    #[test]
+    fn memory_op_counts() {
+        let (_, prof) = profiled(
+            "main: sd a0, -8(sp)
+                   ld a1, -8(sp)
+                   ld a2, -8(sp)
+                   halt",
+        );
+        assert_eq!(prof.stores(), 1);
+        assert_eq!(prof.loads(), 2);
+    }
+
+    #[test]
+    fn bias_of_unexecuted_branch_is_none() {
+        let (p, prof) = profiled(
+            "main: j end
+             skip: beqz a0, skip
+             end:  halt",
+        );
+        let skip = p.symbol("skip").unwrap();
+        assert!(prof.branch(skip).is_none());
+        assert_eq!(prof.exec_count(skip), 0);
+    }
+
+    #[test]
+    fn weighted_bias_reflects_hot_branches() {
+        let (_, prof) = profiled(
+            "main: addi a0, zero, 100
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        assert!(prof.weighted_branch_bias().unwrap() > 0.98);
+    }
+}

@@ -1,0 +1,45 @@
+//! F13 — cross-input distillation: profile on a *training* input, run on
+//! the *reference* input (the paper's train/ref methodology). The
+//! distiller's bets (asserted branches, elided stores, boundary
+//! placement) must generalize across inputs of the same character; the
+//! squash rate is the honest price of any that do not.
+
+use mssp_bench::{evaluate, evaluate_cross_input, print_header};
+use mssp_distill::DistillConfig;
+use mssp_stats::{geomean, Table};
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    let dcfg = DistillConfig::default();
+    print_header(
+        "F13",
+        "Same-input vs cross-input distillation",
+        "speedup (squash events); cross = profiled on the training input",
+    );
+    let mut table = Table::new(vec!["benchmark", "same-input", "cross-input"]);
+    let mut same_all = Vec::new();
+    let mut cross_all = Vec::new();
+    for w in workloads() {
+        let same = evaluate(w, w.default_scale, &dcfg, &tcfg);
+        let cross = evaluate_cross_input(w, w.default_scale, &dcfg, &tcfg);
+        table.row(vec![
+            w.name.to_string(),
+            format!("{:.3} ({})", same.speedup, same.mssp.run.stats.squash_events()),
+            format!(
+                "{:.3} ({})",
+                cross.speedup,
+                cross.mssp.run.stats.squash_events()
+            ),
+        ]);
+        same_all.push(same.speedup);
+        cross_all.push(cross.speedup);
+    }
+    table.row(vec![
+        "geomean".to_string(),
+        format!("{:.3}", geomean(&same_all)),
+        format!("{:.3}", geomean(&cross_all)),
+    ]);
+    println!("{}", table.render());
+}

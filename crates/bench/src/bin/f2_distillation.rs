@@ -1,0 +1,50 @@
+//! F2 — distillation effectiveness: the master's dynamic instruction count
+//! as a fraction of the original program's, per benchmark and distillation
+//! level. The paper's distilled programs executed substantially fewer
+//! instructions than the originals; this figure reproduces that reduction
+//! and its benchmark-to-benchmark variation.
+
+use mssp_bench::{evaluate, print_header};
+use mssp_distill::{DistillConfig, DistillLevel};
+use mssp_stats::{bar_chart, Table};
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    print_header(
+        "F2",
+        "Distilled program dynamic length (% of original)",
+        "measured as master instructions / committed instructions over a full run",
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "none%",
+        "conservative%",
+        "aggressive%",
+        "static none",
+        "static aggr",
+    ]);
+    let mut series = Vec::new();
+    for w in workloads() {
+        let mut row = vec![w.name.to_string()];
+        let mut statics = Vec::new();
+        for level in DistillLevel::all() {
+            let dcfg = DistillConfig::at_level(level);
+            let e = evaluate(w, w.default_scale, &dcfg, &tcfg);
+            let ratio = 100.0 * e.mssp.run.stats.master_instructions as f64
+                / e.mssp.run.stats.committed_instructions as f64;
+            row.push(format!("{ratio:.1}"));
+            statics.push(e.distill.distilled_static);
+            if level == DistillLevel::Aggressive {
+                series.push((w.name.to_string(), ratio));
+            }
+        }
+        row.push(statics[0].to_string());
+        row.push(statics[2].to_string());
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("aggressive distillation, dynamic length (% of original):");
+    println!("{}", bar_chart(&series, 48, "%"));
+}

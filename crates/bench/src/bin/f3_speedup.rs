@@ -1,0 +1,55 @@
+//! F3 — the headline figure: MSSP speedup over a single-core baseline,
+//! per benchmark, with 1 master + 7 slaves (the paper's 8-core CMP).
+//! Paper shape: geometric mean ≈ 1.25, best case ≈ 1.7, worst ≈ 1.0.
+
+use mssp_bench::{evaluate, print_header};
+use mssp_distill::DistillConfig;
+use mssp_stats::{bar_chart, fmt3, geomean, Table};
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    let dcfg = DistillConfig::default();
+    print_header(
+        "F3",
+        "MSSP speedup over uniprocessor baseline",
+        &format!(
+            "1 master + {} slaves, aggressive distillation, target task size {}",
+            tcfg.engine.num_slaves, dcfg.target_task_size
+        ),
+    );
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "base Mcyc",
+        "mssp Mcyc",
+        "speedup",
+        "squash/1k tasks",
+    ]);
+    let mut series = Vec::new();
+    let mut speedups = Vec::new();
+    for w in workloads() {
+        let e = evaluate(w, w.default_scale, &dcfg, &tcfg);
+        let stats = &e.mssp.run.stats;
+        let squash_rate = if stats.spawned_tasks == 0 {
+            0.0
+        } else {
+            1000.0 * stats.squash_events() as f64 / stats.spawned_tasks as f64
+        };
+        table.row(vec![
+            w.name.to_string(),
+            format!("{:.2}", e.baseline.cycles as f64 / 1e6),
+            format!("{:.2}", e.mssp.run.cycles as f64 / 1e6),
+            fmt3(e.speedup),
+            format!("{squash_rate:.1}"),
+        ]);
+        series.push((w.name.to_string(), e.speedup));
+        speedups.push(e.speedup);
+    }
+    println!("{}", table.render());
+    println!("{}", bar_chart(&series, 48, "x"));
+    println!("geometric mean speedup: {:.3}", geomean(&speedups));
+    println!("max speedup:            {:.3}", speedups.iter().copied().fold(0.0, f64::max));
+    println!("min speedup:            {:.3}", speedups.iter().copied().fold(f64::INFINITY, f64::min));
+}

@@ -1,0 +1,49 @@
+//! F5 — task-size sensitivity: speedup and squash rate as the target task
+//! size sweeps from very small (overhead-bound) to very large
+//! (load-imbalance / staleness-bound). The paper reports a broad optimum
+//! at moderate task sizes.
+
+use mssp_bench::{evaluate, harness_scale, print_header};
+use mssp_distill::DistillConfig;
+use mssp_stats::{geomean, Table};
+use mssp_timing::TimingConfig;
+use mssp_workloads::Workload;
+
+fn main() {
+    let sizes = [25u64, 50, 100, 200, 400, 800, 1600, 3200];
+    let subjects = ["gzip_like", "gap_like", "vortex_like", "mcf_like"];
+    print_header(
+        "F5",
+        "Speedup vs. target task size",
+        "four representative benchmarks; squash column = events per 1000 tasks (geomean row over speedups)",
+    );
+    let mut headers = vec!["task size".to_string()];
+    headers.extend(subjects.iter().map(|s| s.to_string()));
+    headers.push("geomean".to_string());
+    headers.push("squash/1k (gzip)".to_string());
+    let mut table = Table::new(headers.iter().map(String::as_str).collect());
+    for &size in &sizes {
+        let dcfg = DistillConfig {
+            target_task_size: size,
+            ..DistillConfig::default()
+        };
+        let mut row = vec![size.to_string()];
+        let mut speeds = Vec::new();
+        let mut gzip_squash = 0.0;
+        for name in subjects {
+            let w = Workload::by_name(name).expect("known workload");
+            let e = evaluate(w, harness_scale(w, 2), &dcfg, &TimingConfig::default());
+            row.push(format!("{:.3}", e.speedup));
+            speeds.push(e.speedup);
+            if name == "gzip_like" {
+                let s = &e.mssp.run.stats;
+                gzip_squash =
+                    1000.0 * s.squash_events() as f64 / s.spawned_tasks.max(1) as f64;
+            }
+        }
+        row.push(format!("{:.3}", geomean(&speeds)));
+        row.push(format!("{gzip_squash:.1}"));
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

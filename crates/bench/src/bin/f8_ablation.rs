@@ -1,0 +1,42 @@
+//! F8 — distillation ablation: speedup and squash rate per distillation
+//! level. The decoupling tradeoff: more aggressive approximation buys a
+//! shorter fast path at the cost of occasional misspeculation, and the
+//! net is positive — while the `None` level isolates pure paradigm
+//! overhead (master ≈ original program).
+
+use mssp_bench::{evaluate, print_header};
+use mssp_distill::{DistillConfig, DistillLevel};
+use mssp_stats::{geomean, Table};
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    print_header(
+        "F8",
+        "Distillation-level ablation",
+        "speedup (and squash events) per level; squashes in parentheses",
+    );
+    let mut table = Table::new(vec!["benchmark", "none", "conservative", "aggressive"]);
+    let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for w in workloads() {
+        let mut row = vec![w.name.to_string()];
+        for (i, level) in DistillLevel::all().into_iter().enumerate() {
+            let e = evaluate(w, w.default_scale, &DistillConfig::at_level(level), &tcfg);
+            row.push(format!(
+                "{:.3} ({})",
+                e.speedup,
+                e.mssp.run.stats.squash_events()
+            ));
+            per_level[i].push(e.speedup);
+        }
+        table.row(row);
+    }
+    table.row(vec![
+        "geomean".to_string(),
+        format!("{:.3}", geomean(&per_level[0])),
+        format!("{:.3}", geomean(&per_level[1])),
+        format!("{:.3}", geomean(&per_level[2])),
+    ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,40 @@
+//! F9 — who is the critical path? Busy-cycle fractions of the master, the
+//! slaves (aggregate), the verify unit and recovery, relative to total
+//! run cycles. The decoupling argument requires the master — the fast
+//! path — to dominate, with verification far from critical.
+
+use mssp_bench::{evaluate, print_header};
+use mssp_distill::DistillConfig;
+use mssp_stats::Table;
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    print_header(
+        "F9",
+        "Component busy fractions (% of run cycles)",
+        "slaves% is the aggregate over all slave cores divided by slave count",
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "master%",
+        "slaves%",
+        "verify%",
+        "recovery%",
+    ]);
+    for w in workloads() {
+        let e = evaluate(w, w.default_scale, &DistillConfig::default(), &tcfg);
+        let s = &e.mssp.run.stats;
+        let total = e.mssp.run.cycles.max(1) as f64;
+        let slaves = tcfg.engine.num_slaves as f64;
+        table.row(vec![
+            w.name.to_string(),
+            format!("{:.1}", 100.0 * s.master_busy_cycles as f64 / total),
+            format!("{:.1}", 100.0 * s.slave_busy_cycles as f64 / (total * slaves)),
+            format!("{:.1}", 100.0 * s.verify_busy_cycles as f64 / total),
+            format!("{:.1}", 100.0 * s.recovery_busy_cycles as f64 / total),
+        ]);
+    }
+    println!("{}", table.render());
+}

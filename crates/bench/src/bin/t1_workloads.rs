@@ -1,0 +1,42 @@
+//! T1 — workload characterization: dynamic instructions, loads/stores,
+//! branches and branch bias for each SPECint2000-analog benchmark at its
+//! default scale (the table-1 analogue of the paper's benchmark setup).
+
+use mssp_analysis::Profile;
+use mssp_bench::print_header;
+use mssp_stats::{fmt_count, Table};
+use mssp_workloads::workloads;
+
+fn main() {
+    print_header(
+        "T1",
+        "Workload characterization",
+        "default scales; bias = execution-weighted dominant-direction frequency",
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "analog",
+        "dyn instrs",
+        "loads%",
+        "stores%",
+        "branch%",
+        "bias",
+        "static",
+    ]);
+    for w in workloads() {
+        let program = w.default_program();
+        let profile = Profile::collect(&program, u64::MAX).expect("workload runs");
+        let n = profile.dynamic_instructions() as f64;
+        table.row(vec![
+            w.name.to_string(),
+            w.analog.to_string(),
+            fmt_count(profile.dynamic_instructions()),
+            format!("{:.1}", 100.0 * profile.loads() as f64 / n),
+            format!("{:.1}", 100.0 * profile.stores() as f64 / n),
+            format!("{:.1}", 100.0 * profile.dynamic_branches() as f64 / n),
+            format!("{:.4}", profile.weighted_branch_bias().unwrap_or(0.0)),
+            program.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

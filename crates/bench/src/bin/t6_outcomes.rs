@@ -1,0 +1,63 @@
+//! T6 — task outcome breakdown: committed vs squashed (by reason),
+//! live-in/live-out set sizes, recovery fraction.
+
+use mssp_bench::{evaluate, print_header};
+use mssp_distill::DistillConfig;
+use mssp_stats::Table;
+use mssp_timing::TimingConfig;
+use mssp_workloads::workloads;
+
+fn main() {
+    let tcfg = TimingConfig::default();
+    let dcfg = DistillConfig::default();
+    print_header(
+        "T6",
+        "Task outcomes and live-in/live-out characterization",
+        "squash reasons per 1000 spawned tasks; recovery% of committed instructions",
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "tasks",
+        "commit%",
+        "wrongpath",
+        "livein",
+        "overrun",
+        "fault",
+        "avg in",
+        "in reg/mem",
+        "avg out",
+        "recov%",
+    ]);
+    for w in workloads() {
+        let e = evaluate(w, w.default_scale, &dcfg, &tcfg);
+        let s = &e.mssp.run.stats;
+        let per1k = |x: u64| {
+            if s.spawned_tasks == 0 {
+                0.0
+            } else {
+                1000.0 * x as f64 / s.spawned_tasks as f64
+            }
+        };
+        let avg = |sum: u64| {
+            if s.committed_tasks == 0 {
+                0.0
+            } else {
+                sum as f64 / s.committed_tasks as f64
+            }
+        };
+        table.row(vec![
+            w.name.to_string(),
+            s.spawned_tasks.to_string(),
+            format!("{:.1}", 100.0 * s.committed_tasks as f64 / s.spawned_tasks.max(1) as f64),
+            format!("{:.1}", per1k(s.squashes_wrong_path)),
+            format!("{:.1}", per1k(s.squashes_live_in)),
+            format!("{:.1}", per1k(s.squashes_overrun)),
+            format!("{:.1}", per1k(s.squashes_fault)),
+            format!("{:.1}", avg(s.live_in_cells)),
+            format!("{:.1}/{:.1}", avg(s.live_in_reg_cells), avg(s.live_in_mem_cells)),
+            format!("{:.1}", avg(s.live_out_cells)),
+            format!("{:.1}", 100.0 * s.recovery_fraction()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,184 @@
+//! # mssp-bench
+//!
+//! The experiment harness: shared plumbing used by the per-table /
+//! per-figure binaries (`t1_workloads`, `f2_distillation`, `f3_speedup`,
+//! ...) that regenerate the evaluation of the MSSP paper, plus the
+//! Criterion micro-benchmarks.
+//!
+//! Each binary prints one table or bar-figure in a uniform format; see
+//! `EXPERIMENTS.md` at the repository root for the experiment index and
+//! recorded results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use mssp_analysis::Profile;
+use mssp_distill::{distill, DistillConfig, DistillStats, Distilled};
+use mssp_isa::Program;
+use mssp_machine::SeqMachine;
+use mssp_timing::{run_baseline, run_mssp, speedup, BaselineRun, TimingConfig, TimingRun};
+use mssp_workloads::{Workload, CHECKSUM_REG, TRAIN_SEED};
+
+/// A complete measurement of one workload under one configuration.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// The workload evaluated.
+    pub workload: &'static Workload,
+    /// Scale used.
+    pub scale: u64,
+    /// Sequential dynamic instruction count.
+    pub seq_instructions: u64,
+    /// Baseline uniprocessor timing run.
+    pub baseline: BaselineRun,
+    /// MSSP timing run.
+    pub mssp: TimingRun,
+    /// Static distillation statistics.
+    pub distill: DistillStats,
+    /// Number of task boundaries selected.
+    pub boundary_count: usize,
+    /// MSSP speedup over the baseline.
+    pub speedup: f64,
+}
+
+/// Profiles, distills and measures one workload.
+///
+/// # Panics
+///
+/// Panics on any pipeline failure — the harness treats those as fatal
+/// (they indicate a broken build, not a measurement).
+#[must_use]
+pub fn evaluate(
+    workload: &'static Workload,
+    scale: u64,
+    dcfg: &DistillConfig,
+    tcfg: &TimingConfig,
+) -> Evaluation {
+    let program = workload.program(scale);
+    let (distilled, profile) = prepare(&program, dcfg);
+    let baseline = run_baseline(&program, tcfg, u64::MAX).expect("baseline runs");
+    let mssp = run_mssp(&program, &distilled, tcfg).expect("mssp runs");
+    assert_eq!(
+        baseline.state.reg(CHECKSUM_REG),
+        mssp.run.state.reg(CHECKSUM_REG),
+        "{}: checksum mismatch — correctness bug",
+        workload.name
+    );
+    Evaluation {
+        workload,
+        scale,
+        seq_instructions: profile.dynamic_instructions(),
+        speedup: speedup(baseline.cycles, mssp.run.cycles),
+        distill: distilled.stats(),
+        boundary_count: distilled.boundaries().len(),
+        baseline,
+        mssp,
+    }
+}
+
+/// Profiles and distills a program, returning both artifacts.
+#[must_use]
+pub fn prepare(program: &Program, dcfg: &DistillConfig) -> (Distilled, Profile) {
+    let profile = Profile::collect(program, u64::MAX).expect("profiling run");
+    let distilled = distill(program, &profile, dcfg).expect("distillation");
+    (distilled, profile)
+}
+
+/// Like [`evaluate`], but *cross-input*: the profile is collected on the
+/// workload's training input ([`TRAIN_SEED`]) while distillation target
+/// and measurement use the reference input — the paper's train/ref
+/// methodology. Both binaries share one text layout (only data-generation
+/// constants differ), so the PC-keyed profile transfers.
+///
+/// # Panics
+///
+/// Panics on pipeline failures or if the train/ref text layouts diverge.
+#[must_use]
+pub fn evaluate_cross_input(
+    workload: &'static Workload,
+    scale: u64,
+    dcfg: &DistillConfig,
+    tcfg: &TimingConfig,
+) -> Evaluation {
+    let eval_program = workload.program(scale);
+    let train_program = workload.program_with_seed(scale, TRAIN_SEED);
+    assert_eq!(
+        train_program.len(),
+        eval_program.len(),
+        "{}: train/ref text layouts diverged",
+        workload.name
+    );
+    let profile = Profile::collect(&train_program, u64::MAX).expect("training run");
+    let distilled = distill(&eval_program, &profile, dcfg).expect("distillation");
+    let baseline = run_baseline(&eval_program, tcfg, u64::MAX).expect("baseline runs");
+    let mssp = run_mssp(&eval_program, &distilled, tcfg).expect("mssp runs");
+    assert_eq!(
+        baseline.state.reg(CHECKSUM_REG),
+        mssp.run.state.reg(CHECKSUM_REG),
+        "{}: checksum mismatch — correctness bug",
+        workload.name
+    );
+    Evaluation {
+        workload,
+        scale,
+        seq_instructions: baseline.instructions,
+        speedup: speedup(baseline.cycles, mssp.run.cycles),
+        distill: distilled.stats(),
+        boundary_count: distilled.boundaries().len(),
+        baseline,
+        mssp,
+    }
+}
+
+/// Sequential dynamic instruction count of a program.
+#[must_use]
+pub fn seq_instructions(program: &Program) -> u64 {
+    let mut m = SeqMachine::boot(program);
+    m.run(u64::MAX).expect("program runs");
+    m.instructions()
+}
+
+/// The scale used by the experiment harness for each workload: the
+/// default scale, shrunk by `divisor` for the quicker sweep experiments.
+#[must_use]
+pub fn harness_scale(workload: &Workload, divisor: u64) -> u64 {
+    (workload.default_scale / divisor.max(1)).max(256)
+}
+
+/// Prints the standard experiment header.
+pub fn print_header(id: &str, title: &str, params: &str) {
+    println!("== {id}: {title} ==");
+    if !params.is_empty() {
+        println!("   {params}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_workloads::workloads;
+
+    #[test]
+    fn evaluate_produces_consistent_numbers() {
+        let w = &workloads()[0];
+        let eval = evaluate(
+            w,
+            1_024,
+            &DistillConfig::default(),
+            &TimingConfig::default(),
+        );
+        assert!(eval.speedup > 0.0);
+        assert_eq!(
+            eval.mssp.run.stats.committed_instructions,
+            eval.baseline.instructions
+        );
+        assert!(eval.boundary_count > 0);
+    }
+
+    #[test]
+    fn harness_scale_has_floor() {
+        let w = &workloads()[0];
+        assert_eq!(harness_scale(w, u64::MAX), 256);
+        assert_eq!(harness_scale(w, 1), w.default_scale);
+    }
+}

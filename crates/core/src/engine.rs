@@ -1,0 +1,1083 @@
+//! The MSSP engine: orchestrates master, slaves, and the verify/commit
+//! unit.
+//!
+//! The engine is a deterministic discrete-time simulation. Components act
+//! in a fixed priority order (recovery, verify unit, slaves, master) and
+//! the cost model prices each event; under [`crate::UnitCost`] this
+//! degenerates to a functional interleaving whose committed state — like
+//! that of *any* cost model — equals the sequential machine's (the jumping
+//! refinement of the formal model).
+//!
+//! ## Protocol summary
+//!
+//! * The **master** executes the distilled program; when it crosses a task
+//!   boundary it spawns a task (start PC + predicted-write overlay) onto a
+//!   free slave, stalling if none is free.
+//! * **Slaves** execute original-program tasks against layered storage,
+//!   recording live-ins, until they reach any boundary PC, `halt`, a
+//!   fault, or the instruction cap.
+//! * The **verify unit** processes tasks strictly in spawn order. The
+//!   oldest task commits iff its start PC equals the architected PC and
+//!   every recorded live-in matches architected state; its writes are then
+//!   superimposed atomically. Any failure squashes the failed task, all
+//!   younger tasks, and the master.
+//! * **Recovery** re-executes the failed segment non-speculatively from
+//!   architected state (buffered, committed atomically at the next
+//!   boundary) while the master restarts in parallel from the same point —
+//!   guaranteeing forward progress no matter how wrong the master is.
+
+use std::collections::VecDeque;
+
+use mssp_distill::Distilled;
+use mssp_isa::Program;
+use mssp_machine::{step, Delta, Fault, MachineState};
+use serde::{Deserialize, Serialize};
+
+use crate::master::{Master, MasterStall};
+use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus};
+use crate::{CoreRole, CostModel};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of slave processors (the paper's CMP had one master plus
+    /// slaves; 8 cores total is the reference configuration).
+    pub num_slaves: usize,
+    /// Hard cap on a task's instruction count; exceeding it marks the
+    /// task overrun (squashed at verification).
+    pub max_task_instrs: u64,
+    /// Master instructions allowed without crossing a boundary before the
+    /// master is declared lost (bounds run-away distilled loops).
+    pub master_runahead: u64,
+    /// Simulated-cycle budget; exceeding it aborts the run.
+    pub max_cycles: u64,
+    /// Instruction cap for a single recovery segment (a backstop against
+    /// boundary-free infinite loops; the sequential program would not
+    /// terminate either).
+    pub max_recovery_instrs: u64,
+    /// Ablation switch: degrade live-in tracking to whole-word granularity
+    /// (recreates false sharing between tasks writing adjacent bytes).
+    pub word_granular_live_ins: bool,
+    /// Adaptive sequential fallback (the paper's dual-mode operation): if
+    /// more than this many squash events occur within
+    /// [`EngineConfig::throttle_window`] committed+squashed tasks, the
+    /// master is kept offline for [`EngineConfig::throttle_duration`]
+    /// recovery segments. `0` disables throttling.
+    pub throttle_threshold: u32,
+    /// Task window over which squashes are counted for throttling.
+    pub throttle_window: u64,
+    /// Recovery segments to run sequentially once throttled.
+    pub throttle_duration: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            num_slaves: 7,
+            max_task_instrs: 1 << 14,
+            master_runahead: 1 << 17,
+            max_cycles: u64::MAX / 2,
+            max_recovery_instrs: u64::MAX / 2,
+            word_granular_live_ins: false,
+            throttle_threshold: 0,
+            throttle_window: 64,
+            throttle_duration: 16,
+        }
+    }
+}
+
+/// Why a squash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashReason {
+    /// The oldest task's start PC did not match the architected PC (the
+    /// master predicted the wrong next task).
+    WrongPath,
+    /// A recorded live-in disagreed with architected state.
+    LiveInMismatch,
+    /// The task exceeded its instruction cap.
+    Overrun,
+    /// The task faulted (illegal PC).
+    Fault,
+}
+
+/// Aggregate statistics of one MSSP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Tasks spawned by the master.
+    pub spawned_tasks: u64,
+    /// Tasks that verified and committed.
+    pub committed_tasks: u64,
+    /// Instructions committed via tasks or recovery segments (equals the
+    /// sequential instruction count of the program).
+    pub committed_instructions: u64,
+    /// Tasks squashed (all reasons).
+    pub squashed_tasks: u64,
+    /// Squash events caused by wrong-path task starts.
+    pub squashes_wrong_path: u64,
+    /// Squash events caused by live-in mismatches.
+    pub squashes_live_in: u64,
+    /// Squash events caused by task overruns.
+    pub squashes_overrun: u64,
+    /// Squash events caused by task faults.
+    pub squashes_fault: u64,
+    /// Non-speculative recovery segments executed.
+    pub recovery_segments: u64,
+    /// Instructions executed in recovery segments.
+    pub recovery_instructions: u64,
+    /// Distilled instructions executed by the master.
+    pub master_instructions: u64,
+    /// Original-program instructions executed speculatively by slaves.
+    pub slave_instructions: u64,
+    /// Speculative slave instructions discarded by squashes.
+    pub wasted_slave_instructions: u64,
+    /// Sum over committed tasks of live-in cells (bandwidth proxy).
+    pub live_in_cells: u64,
+    /// Of which register cells.
+    pub live_in_reg_cells: u64,
+    /// Of which memory cells.
+    pub live_in_mem_cells: u64,
+    /// Sum over committed tasks of live-out cells.
+    pub live_out_cells: u64,
+    /// Largest committed live-in set.
+    pub max_live_in_cells: u64,
+    /// Cycles the master spent executing or spawning.
+    pub master_busy_cycles: u64,
+    /// Cycles slaves spent executing task instructions.
+    pub slave_busy_cycles: u64,
+    /// Cycles spent in recovery execution.
+    pub recovery_busy_cycles: u64,
+    /// Cycles the verify unit spent verifying and committing.
+    pub verify_busy_cycles: u64,
+    /// Times the adaptive throttle took the master offline.
+    pub throttle_events: u64,
+}
+
+impl EngineStats {
+    /// Fraction of speculative slave work that was wasted.
+    #[must_use]
+    pub fn waste_fraction(&self) -> f64 {
+        if self.slave_instructions == 0 {
+            0.0
+        } else {
+            self.wasted_slave_instructions as f64 / self.slave_instructions as f64
+        }
+    }
+
+    /// Total squash events.
+    #[must_use]
+    pub fn squash_events(&self) -> u64 {
+        self.squashes_wrong_path + self.squashes_live_in + self.squashes_overrun
+            + self.squashes_fault
+    }
+
+    /// Fraction of committed instructions that came from (sequential)
+    /// recovery segments rather than parallel tasks.
+    #[must_use]
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            self.recovery_instructions as f64 / self.committed_instructions as f64
+        }
+    }
+}
+
+/// Result of a completed MSSP run.
+#[derive(Debug, Clone)]
+pub struct MsspRun {
+    /// Simulated cycles from boot to architectural halt.
+    pub cycles: u64,
+    /// The final architected state.
+    pub state: MachineState,
+    /// Run statistics.
+    pub stats: EngineStats,
+    /// Architected PCs at each commit point, if tracing was enabled with
+    /// [`Engine::enable_commit_trace`]. The jumping-refinement property:
+    /// this is always a subsequence of the sequential machine's PC trace.
+    pub commit_trace: Option<Vec<u64>>,
+    /// Live-in mismatch samples, if enabled with
+    /// [`Engine::enable_mismatch_samples`].
+    pub mismatch_samples: Option<Vec<MismatchSample>>,
+    /// Committed task sizes, if enabled with
+    /// [`Engine::enable_task_size_trace`].
+    pub task_sizes: Option<Vec<u64>>,
+}
+
+/// Engine failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Exceeded [`EngineConfig::max_cycles`].
+    CycleLimit,
+    /// The *original* program faulted during non-speculative recovery —
+    /// a genuine program error, not a speculation artifact.
+    RecoveryFault(Fault),
+    /// A recovery segment exceeded [`EngineConfig::max_recovery_instrs`].
+    RecoveryLimit,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::CycleLimit => write!(f, "simulated cycle budget exceeded"),
+            EngineError::RecoveryFault(fault) => {
+                write!(f, "original program faulted in recovery: {fault}")
+            }
+            EngineError::RecoveryLimit => write!(f, "recovery segment exceeded instruction cap"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[derive(Debug)]
+struct SlaveCtx {
+    busy_until: u64,
+    task: Option<TaskId>,
+}
+
+#[derive(Debug)]
+struct Recovery {
+    pc: u64,
+    writes: Delta,
+    executed: u64,
+    crossings: u64,
+    busy_until: u64,
+}
+
+/// The MSSP machine.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::asm::assemble;
+/// use mssp_analysis::Profile;
+/// use mssp_distill::{distill, DistillConfig};
+/// use mssp_core::{Engine, EngineConfig, UnitCost};
+/// use mssp_machine::SeqMachine;
+///
+/// let p = assemble(
+///     "main: addi s0, zero, 200
+///      loop: add  s1, s1, s0
+///            addi s0, s0, -1
+///            bnez s0, loop
+///            halt",
+/// ).unwrap();
+/// let profile = Profile::collect(&p, u64::MAX).unwrap();
+/// let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
+///
+/// let run = Engine::new(&p, &d, EngineConfig::default(), UnitCost)
+///     .run()
+///     .unwrap();
+///
+/// // MSSP's committed state equals the sequential machine's.
+/// let mut seq = SeqMachine::boot(&p);
+/// seq.run(u64::MAX).unwrap();
+/// assert_eq!(run.state.reg(mssp_isa::Reg::S1), seq.state().reg(mssp_isa::Reg::S1));
+/// ```
+#[derive(Debug)]
+pub struct Engine<'a, C> {
+    original: &'a Program,
+    distilled: &'a Distilled,
+    boundaries: BoundarySet,
+    crossings_per_task: u64,
+    config: EngineConfig,
+    cost: C,
+
+    now: u64,
+    arch: MachineState,
+    arch_halted: bool,
+
+    master: Master,
+    master_busy_until: u64,
+    master_since_spawn: u64,
+    last_spawned: Option<u64>,
+
+    tasks: VecDeque<Task>,
+    slaves: Vec<SlaveCtx>,
+    recovery: Option<Recovery>,
+    verify_busy_until: u64,
+
+    next_task_id: u64,
+    /// Recent squash history (event counter within the sliding window).
+    recent_squashes: VecDeque<u64>,
+    /// Tasks processed (committed or squashed), the throttle's clock.
+    tasks_processed: u64,
+    /// Remaining recovery segments to run with the master offline.
+    throttle_remaining: u64,
+    stats: EngineStats,
+    /// Architected PCs at each commit point, recorded when tracing is on.
+    commit_trace: Option<Vec<u64>>,
+    /// Live-in mismatch samples, recorded when diagnostics are on.
+    mismatch_samples: Option<Vec<MismatchSample>>,
+    /// Committed task sizes (instructions), recorded when enabled.
+    task_sizes: Option<Vec<u64>>,
+}
+
+/// A recorded live-in verification failure (diagnostics).
+#[derive(Debug, Clone)]
+pub struct MismatchSample {
+    /// The failing task's start PC (original space).
+    pub start_pc: u64,
+    /// Instructions the task had executed.
+    pub executed: u64,
+    /// Mismatching cells: `(cell, predicted, architected)`.
+    pub cells: Vec<(mssp_machine::Cell, u64, u64)>,
+}
+
+impl<'a, C: CostModel> Engine<'a, C> {
+    /// Creates an engine booted at the original program's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_slaves` is zero.
+    #[must_use]
+    pub fn new(
+        original: &'a Program,
+        distilled: &'a Distilled,
+        config: EngineConfig,
+        cost: C,
+    ) -> Engine<'a, C> {
+        assert!(config.num_slaves > 0, "MSSP needs at least one slave");
+        let arch = MachineState::boot(original);
+        let master = Master::restart_at(distilled, arch.pc(), true, arch.clone());
+        Engine {
+            original,
+            distilled,
+            boundaries: BoundarySet::new(distilled.boundaries().clone()),
+            crossings_per_task: distilled.crossings_per_task().max(1),
+            config,
+            cost,
+            now: 0,
+            arch,
+            arch_halted: false,
+            master,
+            master_busy_until: 0,
+            master_since_spawn: 0,
+            last_spawned: None,
+            tasks: VecDeque::new(),
+            slaves: (0..config.num_slaves)
+                .map(|_| SlaveCtx {
+                    busy_until: 0,
+                    task: None,
+                })
+                .collect(),
+            recovery: None,
+            verify_busy_until: 0,
+            next_task_id: 0,
+            recent_squashes: VecDeque::new(),
+            tasks_processed: 0,
+            throttle_remaining: 0,
+            stats: EngineStats::default(),
+            commit_trace: None,
+            mismatch_samples: None,
+            task_sizes: None,
+        }
+    }
+
+    /// Enables recording of every committed task's instruction count (for
+    /// task-size distribution studies).
+    pub fn enable_task_size_trace(&mut self) {
+        self.task_sizes = Some(Vec::new());
+    }
+
+    /// Enables recording of live-in mismatch samples (first `cap` squash
+    /// events), for distillation diagnostics.
+    pub fn enable_mismatch_samples(&mut self, cap: usize) {
+        self.mismatch_samples = Some(Vec::with_capacity(cap.min(1024)));
+    }
+
+    /// Enables recording of the architected PC at every commit point.
+    /// Used by the jumping-refinement tests: the recorded sequence must be
+    /// a subsequence of the sequential machine's PC trace.
+    pub fn enable_commit_trace(&mut self) {
+        self.commit_trace = Some(vec![self.arch.pc()]);
+    }
+
+    /// The recorded commit trace, if enabled.
+    #[must_use]
+    pub fn commit_trace(&self) -> Option<&[u64]> {
+        self.commit_trace.as_deref()
+    }
+
+    /// The recorded mismatch samples, if enabled (drain before `run`
+    /// consumes the engine via [`MsspRun::mismatch_samples`]).
+    #[must_use]
+    pub fn mismatch_samples(&self) -> Option<&[MismatchSample]> {
+        self.mismatch_samples.as_deref()
+    }
+
+    /// Runs the machine to architectural halt.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn run(self) -> Result<MsspRun, EngineError> {
+        self.run_returning_cost().map(|(run, _)| run)
+    }
+
+    /// Like [`Engine::run`], additionally returning the cost model so
+    /// callers can read the microarchitectural counters it accumulated.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn run_returning_cost(mut self) -> Result<(MsspRun, C), EngineError> {
+        while !self.arch_halted {
+            if self.now > self.config.max_cycles {
+                return Err(EngineError::CycleLimit);
+            }
+            let mut acted = false;
+            acted |= self.act_recovery()?;
+            if !self.arch_halted {
+                acted |= self.act_verify();
+            }
+            if !self.arch_halted {
+                for s in 0..self.slaves.len() {
+                    acted |= self.act_slave(s);
+                }
+                acted |= self.act_master();
+            }
+            if !acted && !self.arch_halted {
+                self.advance_time();
+            }
+        }
+        Ok((
+            MsspRun {
+                cycles: self.now,
+                state: self.arch,
+                stats: self.stats,
+                commit_trace: self.commit_trace,
+                mismatch_samples: self.mismatch_samples,
+                task_sizes: self.task_sizes,
+            },
+            self.cost,
+        ))
+    }
+
+    // ---- components -----------------------------------------------------
+
+    fn act_recovery(&mut self) -> Result<bool, EngineError> {
+        let Some(rec) = &mut self.recovery else {
+            return Ok(false);
+        };
+        if self.now < rec.busy_until {
+            return Ok(false);
+        }
+        let pc = rec.pc;
+        let mut storage = RecoveryStorage {
+            writes: &mut rec.writes,
+            arch: &self.arch,
+        };
+        let info = step(&mut storage, self.original, pc)
+            .map_err(EngineError::RecoveryFault)?;
+        let cost = self.cost.instr_cost(CoreRole::Recovery(0), &info).max(1);
+        rec.busy_until = self.now + cost;
+        self.stats.recovery_busy_cycles += cost;
+        if info.halted {
+            self.finish_recovery(pc, true);
+            return Ok(true);
+        }
+        rec.executed += 1;
+        rec.pc = info.next_pc;
+        if rec.executed > self.config.max_recovery_instrs {
+            return Err(EngineError::RecoveryLimit);
+        }
+        if self.boundaries.contains(info.next_pc) {
+            rec.crossings += 1;
+            if rec.crossings >= self.crossings_per_task {
+                self.finish_recovery(info.next_pc, false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn finish_recovery(&mut self, end_pc: u64, halted: bool) {
+        let rec = self.recovery.take().expect("recovery active");
+        self.arch.apply(&rec.writes);
+        self.arch.set_pc(end_pc);
+        self.stats.recovery_instructions += rec.executed;
+        self.stats.committed_instructions += rec.executed;
+        if let Some(trace) = &mut self.commit_trace {
+            trace.push(end_pc);
+        }
+        if halted {
+            self.arch_halted = true;
+            return;
+        }
+        // While throttled, keep the master offline and let starvation
+        // recovery carry execution sequentially.
+        if self.throttle_remaining > 0 {
+            self.throttle_remaining -= 1;
+            return;
+        }
+        // Restart the master here, at a *consistent* architected point.
+        // (Restarting it at squash time, concurrently with recovery, lets
+        // the master lazily read a torn mixture of pre- and post-recovery
+        // architected values and desynchronize by one segment on every
+        // squash.)
+        if self.master.status() != MasterStall::Active {
+            self.master = Master::restart_at(self.distilled, end_pc, true, self.arch.clone());
+            self.master_busy_until = self.now;
+            self.master_since_spawn = 0;
+            self.last_spawned = None;
+        }
+    }
+
+    fn act_verify(&mut self) -> bool {
+        if self.recovery.is_some() || self.now < self.verify_busy_until {
+            return false;
+        }
+        let Some(task) = self.tasks.front() else {
+            return false;
+        };
+        // Wrong-path detection does not wait for the task to finish.
+        if task.start_pc != self.arch.pc() {
+            self.squash_and_recover(SquashReason::WrongPath);
+            return true;
+        }
+        let TaskStatus::Done { end, done_at } = task.status else {
+            return false;
+        };
+        if self.now < done_at {
+            return false;
+        }
+        match end {
+            TaskEnd::Overrun => {
+                self.squash_and_recover(SquashReason::Overrun);
+                true
+            }
+            TaskEnd::Fault => {
+                self.squash_and_recover(SquashReason::Fault);
+                true
+            }
+            TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc) => {
+                let halted = matches!(end, TaskEnd::Halted(_));
+                let consistent = task.live_ins.consistent_with_state(&self.arch);
+                if !consistent {
+                    if let Some(samples) = &mut self.mismatch_samples {
+                        if samples.len() < samples.capacity() {
+                            samples.push(MismatchSample {
+                                start_pc: task.start_pc,
+                                executed: task.executed,
+                                cells: task.live_ins.mismatches_against(&self.arch),
+                            });
+                        }
+                    }
+                    self.squash_and_recover(SquashReason::LiveInMismatch);
+                    return true;
+                }
+                // Task safety established: commit is a superimposition.
+                let task = self.tasks.pop_front().expect("front exists");
+                let vcost = self.cost.verify_cost(task.live_ins.len());
+                let ccost = self.cost.commit_cost(task.writes.len());
+                self.verify_busy_until = self.now + vcost + ccost;
+                self.stats.verify_busy_cycles += vcost + ccost;
+                self.arch.apply(&task.writes);
+                self.arch.set_pc(end_pc);
+                self.stats.committed_tasks += 1;
+                self.tasks_processed += 1;
+                self.stats.committed_instructions += task.executed;
+                if let Some(sizes) = &mut self.task_sizes {
+                    sizes.push(task.executed);
+                }
+                self.stats.live_in_cells += task.live_ins.len() as u64;
+                self.stats.live_in_reg_cells += task.live_ins.reg_cells() as u64;
+                self.stats.live_in_mem_cells += task.live_ins.mem_cells() as u64;
+                self.stats.live_out_cells += task.writes.len() as u64;
+                self.stats.max_live_in_cells =
+                    self.stats.max_live_in_cells.max(task.live_ins.len() as u64);
+                self.master.on_commit(task.id.0);
+                self.slaves[task.slave].task = None;
+                if let Some(trace) = &mut self.commit_trace {
+                    trace.push(end_pc);
+                }
+                if halted {
+                    self.arch_halted = true;
+                }
+                true
+            }
+        }
+    }
+
+    fn act_slave(&mut self, s: usize) -> bool {
+        if self.now < self.slaves[s].busy_until {
+            return false;
+        }
+        let Some(tid) = self.slaves[s].task else {
+            return false;
+        };
+        let task = self
+            .tasks
+            .iter_mut()
+            .find(|t| t.id == tid)
+            .expect("slave task exists");
+        if task.is_done() {
+            return false;
+        }
+        let pc = task.pc;
+        let word_granular = self.config.word_granular_live_ins;
+        let result = {
+            let mut storage = task.storage_with_granularity(&self.arch, word_granular);
+            step(&mut storage, self.original, pc)
+        };
+        match result {
+            Err(_) => {
+                // A fault on a speculative path is a task outcome, not an
+                // engine error.
+                task.status = TaskStatus::Done {
+                    end: TaskEnd::Fault,
+                    done_at: self.now + 1,
+                };
+                self.slaves[s].busy_until = self.now + 1;
+                true
+            }
+            Ok(info) => {
+                let cost = self.cost.instr_cost(CoreRole::Slave(s), &info).max(1);
+                self.slaves[s].busy_until = self.now + cost;
+                self.stats.slave_busy_cycles += cost;
+                if info.halted {
+                    task.status = TaskStatus::Done {
+                        end: TaskEnd::Halted(pc),
+                        done_at: self.slaves[s].busy_until,
+                    };
+                    return true;
+                }
+                task.executed += 1;
+                task.pc = info.next_pc;
+                self.stats.slave_instructions += 1;
+                if self.boundaries.contains(info.next_pc) {
+                    task.crossings += 1;
+                }
+                if task.crossings >= self.crossings_per_task {
+                    task.status = TaskStatus::Done {
+                        end: TaskEnd::Boundary(info.next_pc),
+                        done_at: self.slaves[s].busy_until,
+                    };
+                } else if task.executed >= self.config.max_task_instrs {
+                    task.status = TaskStatus::Done {
+                        end: TaskEnd::Overrun,
+                        done_at: self.slaves[s].busy_until,
+                    };
+                }
+                true
+            }
+        }
+    }
+
+    fn act_master(&mut self) -> bool {
+        if self.now < self.master_busy_until || self.master.status() != MasterStall::Active {
+            return false;
+        }
+        if self.master.pending_spawn().is_some() {
+            let Some(slave) = self.free_slave() else {
+                return false; // stall until a slave frees up
+            };
+            let (start, overlay) = self.master.take_spawn(self.last_spawned);
+            let cells: usize = overlay.first().map(|d| d.len()).unwrap_or(0);
+            let id = TaskId(self.next_task_id);
+            self.next_task_id += 1;
+            let task = Task::new(id, start, slave, overlay);
+            self.tasks.push_back(task);
+            let dispatch = self.cost.dispatch_latency(cells);
+            self.slaves[slave].task = Some(id);
+            self.slaves[slave].busy_until = self.now + dispatch;
+            let spawn = self.cost.spawn_overhead(cells);
+            self.master_busy_until = self.now + spawn;
+            self.stats.master_busy_cycles += spawn;
+            self.stats.spawned_tasks += 1;
+            self.last_spawned = Some(id.0);
+            self.master_since_spawn = 0;
+            return true;
+        }
+        if self.master_since_spawn > self.config.master_runahead {
+            self.master.mark_lost();
+            return true;
+        }
+        match self.master.step(self.distilled) {
+            Some(info) => {
+                let cost = self.cost.instr_cost(CoreRole::Master, &info).max(1);
+                self.master_busy_until = self.now + cost;
+                self.stats.master_busy_cycles += cost;
+                self.stats.master_instructions += 1;
+                self.master_since_spawn += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- squash & recovery ----------------------------------------------
+
+    fn squash_and_recover(&mut self, reason: SquashReason) {
+        match reason {
+            SquashReason::WrongPath => self.stats.squashes_wrong_path += 1,
+            SquashReason::LiveInMismatch => self.stats.squashes_live_in += 1,
+            SquashReason::Overrun => self.stats.squashes_overrun += 1,
+            SquashReason::Fault => self.stats.squashes_fault += 1,
+        }
+        self.stats.squashed_tasks += self.tasks.len() as u64;
+        for task in &self.tasks {
+            self.stats.wasted_slave_instructions += task.executed;
+        }
+        for (i, slave) in self.slaves.iter_mut().enumerate() {
+            if slave.task.take().is_some() {
+                self.cost.on_squash(CoreRole::Slave(i));
+                slave.busy_until = self.now;
+            }
+        }
+        self.tasks.clear();
+        self.cost.on_squash(CoreRole::Master);
+
+        let penalty = self.cost.squash_penalty();
+        self.verify_busy_until = self.now + penalty;
+        self.stats.verify_busy_cycles += penalty;
+
+        // Adaptive fallback: with a pathological master, repeated squashes
+        // within the window take it offline for a stretch of sequential
+        // recovery segments (the paper's revert-to-sequential dual mode).
+        self.tasks_processed += 1;
+        if self.config.throttle_threshold > 0 {
+            self.recent_squashes.push_back(self.tasks_processed);
+            while matches!(
+                self.recent_squashes.front(),
+                Some(&t) if t + self.config.throttle_window < self.tasks_processed
+            ) {
+                self.recent_squashes.pop_front();
+            }
+            if self.recent_squashes.len() as u32 > self.config.throttle_threshold
+                && self.throttle_remaining == 0
+            {
+                self.throttle_remaining = self.config.throttle_duration;
+                self.stats.throttle_events += 1;
+                self.recent_squashes.clear();
+            }
+        }
+
+        // The master stays down until recovery reaches the next boundary;
+        // `finish_recovery` reseeds it from the then-consistent
+        // architected state. (A parallel restart would race with the
+        // recovery segment's atomic commit — see `finish_recovery`.)
+        self.master.mark_lost();
+        self.master_busy_until = self.now + penalty;
+        self.master_since_spawn = 0;
+        self.last_spawned = None;
+
+        self.recovery = Some(Recovery {
+            pc: self.arch.pc(),
+            writes: Delta::new(),
+            executed: 0,
+            crossings: 0,
+            busy_until: self.now + penalty,
+        });
+        self.stats.recovery_segments += 1;
+    }
+
+    fn start_starvation_recovery(&mut self) {
+        // No tasks, no recovery, master unable to produce work: execute
+        // the next segment non-speculatively.
+        self.recovery = Some(Recovery {
+            pc: self.arch.pc(),
+            writes: Delta::new(),
+            executed: 0,
+            crossings: 0,
+            busy_until: self.now,
+        });
+        self.stats.recovery_segments += 1;
+    }
+
+    // ---- time ------------------------------------------------------------
+
+    fn free_slave(&self) -> Option<usize> {
+        self.slaves.iter().position(|s| s.task.is_none())
+    }
+
+    fn advance_time(&mut self) {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            next = Some(match next {
+                Some(n) => n.min(t),
+                None => t,
+            });
+        };
+        if let Some(rec) = &self.recovery {
+            consider(rec.busy_until);
+        }
+        if self.recovery.is_none() {
+            if let Some(task) = self.tasks.front() {
+                match task.status {
+                    TaskStatus::Done { done_at, .. } => {
+                        consider(self.verify_busy_until.max(done_at));
+                    }
+                    TaskStatus::Running if task.start_pc != self.arch.pc() => {
+                        consider(self.verify_busy_until);
+                    }
+                    TaskStatus::Running => {}
+                }
+            }
+        }
+        for slave in &self.slaves {
+            if let Some(tid) = slave.task {
+                let running = self
+                    .tasks
+                    .iter()
+                    .find(|t| t.id == tid)
+                    .is_some_and(|t| !t.is_done());
+                if running {
+                    consider(slave.busy_until);
+                }
+            }
+        }
+        if self.master.status() == MasterStall::Active {
+            let can_spawn =
+                self.master.pending_spawn().is_none() || self.free_slave().is_some();
+            if can_spawn {
+                consider(self.master_busy_until);
+            }
+        }
+        match next {
+            Some(t) => self.now = self.now.max(t).max(self.now + 1),
+            None => self.start_starvation_recovery(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitCost;
+    use mssp_analysis::Profile;
+    use mssp_distill::{distill, DistillConfig, DistillLevel, Distilled};
+    use mssp_isa::asm::assemble;
+    use mssp_isa::Reg;
+    use mssp_machine::SeqMachine;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn seq_state(p: &Program) -> MachineState {
+        let mut m = SeqMachine::boot(p);
+        m.run(u64::MAX).unwrap();
+        let mut s = m.into_state();
+        // The engine's final state has the halt PC; SeqMachine leaves the
+        // PC at the halt instruction as well.
+        let pc = s.pc();
+        s.set_pc(pc);
+        s
+    }
+
+    fn mssp_run(p: &Program, d: &Distilled, slaves: usize) -> MsspRun {
+        let config = EngineConfig {
+            num_slaves: slaves,
+            ..EngineConfig::default()
+        };
+        Engine::new(p, d, config, UnitCost).run().unwrap()
+    }
+
+    const SUM: &str = "
+        main: addi s0, zero, 300
+        loop: add  s1, s1, s0
+              addi s0, s0, -1
+              bnez s0, loop
+              halt";
+
+    #[test]
+    fn matches_sequential_on_simple_loop() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let run = mssp_run(&p, &d, 4);
+        let seq = seq_state(&p);
+        assert_eq!(run.state.reg(Reg::S1), seq.reg(Reg::S1));
+        assert!(run.stats.committed_tasks > 1, "{:?}", run.stats);
+        assert_eq!(run.stats.squash_events(), 0);
+    }
+
+    #[test]
+    fn commits_equal_sequential_instruction_count() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let run = mssp_run(&p, &d, 4);
+        let mut m = SeqMachine::boot(&p);
+        m.run(u64::MAX).unwrap();
+        assert_eq!(run.stats.committed_instructions, m.instructions());
+    }
+
+    #[test]
+    fn works_with_single_slave() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let run = mssp_run(&p, &d, 1);
+        assert_eq!(run.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+    }
+
+    #[test]
+    fn conservative_and_aggressive_levels_agree_on_state() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        for level in DistillLevel::all() {
+            let d = distill(&p, &prof, &DistillConfig::at_level(level)).unwrap();
+            let run = mssp_run(&p, &d, 4);
+            assert_eq!(
+                run.state.reg(Reg::S1),
+                seq_state(&p).reg(Reg::S1),
+                "level {level}"
+            );
+        }
+    }
+
+    /// An adversarial master: the distilled "program" is complete garbage
+    /// (it writes wrong values everywhere and spawns at the right
+    /// boundary). Correctness must be unaffected — only performance.
+    #[test]
+    fn garbage_master_cannot_corrupt_architected_state() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let honest = distill(&p, &prof, &DistillConfig::default()).unwrap();
+
+        // Build a lying master: same boundary set, but the code just
+        // scribbles wrong values into the loop registers forever.
+        let loop_pc = p.symbol("loop").unwrap();
+        let evil_src = "
+            main: addi s1, zero, 123
+            evil: addi s0, zero, 77
+                  addi s1, s1, 13
+                  j evil";
+        let evil = assemble(evil_src).unwrap();
+        // Remap: entry -> evil entry, loop boundary -> the `evil` block.
+        let evil_block = evil.symbol("evil").unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(p.entry(), evil.entry());
+        map.insert(loop_pc, evil_block);
+        let d = Distilled::from_parts(
+            evil,
+            honest.boundaries().clone(),
+            map,
+        );
+        let run = mssp_run(&p, &d, 4);
+        let seq = seq_state(&p);
+        assert_eq!(run.state.reg(Reg::S1), seq.reg(Reg::S1));
+        assert_eq!(run.state.reg(Reg::S0), seq.reg(Reg::S0));
+        // The lying master caused squashes and recovery did the work.
+        assert!(run.stats.squash_events() > 0 || run.stats.recovery_segments > 0);
+    }
+
+    /// A master that halts immediately: everything must fall back to
+    /// sequential recovery segments.
+    #[test]
+    fn dead_master_degrades_to_sequential() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let honest = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let dead = assemble("main: halt").unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(p.entry(), dead.entry());
+        let d = Distilled::from_parts(dead, honest.boundaries().clone(), map);
+        let run = mssp_run(&p, &d, 4);
+        assert_eq!(run.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+        assert!(run.stats.recovery_instructions > 0);
+    }
+
+    /// No boundaries at all: the first (and only) task runs from entry
+    /// clear to `halt` and commits — MSSP degenerates gracefully.
+    #[test]
+    fn empty_boundary_set_still_terminates_correctly() {
+        let p = assemble(SUM).unwrap();
+        let dead = assemble("main: halt").unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(p.entry(), dead.entry());
+        let d = Distilled::from_parts(dead, BTreeSet::new(), map);
+        let run = mssp_run(&p, &d, 2);
+        assert_eq!(run.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+    }
+
+    #[test]
+    fn commit_trace_is_subsequence_of_seq_trace() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let mut engine = Engine::new(
+            &p,
+            &d,
+            EngineConfig {
+                num_slaves: 3,
+                ..EngineConfig::default()
+            },
+            UnitCost,
+        );
+        engine.enable_commit_trace();
+        let run = engine.run().unwrap();
+        let trace = run.commit_trace.expect("tracing enabled");
+
+        // Build the sequential PC trace.
+        let mut seq_pcs = vec![p.entry()];
+        let mut m = SeqMachine::boot(&p);
+        loop {
+            let info = m.step().unwrap();
+            if info.halted {
+                seq_pcs.push(info.pc);
+                break;
+            }
+            seq_pcs.push(info.next_pc);
+        }
+        // Jumping refinement: commit points appear in order within the
+        // sequential trace.
+        let mut pos = 0;
+        for &pc in &trace {
+            match seq_pcs[pos..].iter().position(|&s| s == pc) {
+                Some(off) => pos += off,
+                None => panic!("commit pc {pc:#x} not found in SEQ trace order"),
+            }
+        }
+        assert!(trace.len() > 2, "expected several commit points");
+    }
+
+    #[test]
+    fn memory_carrying_loop_matches_sequential() {
+        // Tasks communicate through memory (a running prefix sum), so
+        // every task's live-ins include the previous task's stores.
+        let src = "
+            main:  li   s2, 0x200000
+                   addi s0, zero, 120
+            loop:  ld   s1, 0(s2)
+                   add  s1, s1, s0
+                   sd   s1, 0(s2)
+                   sd   s1, 8(s2)
+                   addi s2, s2, 8
+                   addi s0, s0, -1
+                   bnez s0, loop
+                   halt";
+        let p = assemble(src).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let run = mssp_run(&p, &d, 4);
+        let seq = seq_state(&p);
+        assert_eq!(run.state.reg(Reg::S1), seq.reg(Reg::S1));
+        // Compare the written memory region too.
+        for w in (0x200000u64 >> 3)..((0x200000u64 >> 3) + 130) {
+            assert_eq!(run.state.load_word(w), seq.load_word(w), "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let config = EngineConfig {
+            max_cycles: 10,
+            ..EngineConfig::default()
+        };
+        let err = Engine::new(&p, &d, config, UnitCost).run().unwrap_err();
+        assert_eq!(err, EngineError::CycleLimit);
+    }
+
+    #[test]
+    fn stats_waste_and_recovery_fractions_bounded() {
+        let p = assemble(SUM).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &prof, &DistillConfig::default()).unwrap();
+        let run = mssp_run(&p, &d, 4);
+        assert!((0.0..=1.0).contains(&run.stats.waste_fraction()));
+        assert!((0.0..=1.0).contains(&run.stats.recovery_fraction()));
+    }
+}

@@ -1,0 +1,56 @@
+//! # mssp-core
+//!
+//! The MSSP engine — the paper's primary contribution as an executable
+//! library. It couples an untrusted, arbitrarily-wrong **master** (running
+//! a distilled program) to verified **slave** tasks and an in-order
+//! **verify/commit** unit, such that the committed architected state is
+//! always exactly what the sequential machine would produce.
+//!
+//! * [`Engine`] — the machine: spawn / execute / verify / commit / squash
+//!   / recover, generic over a [`CostModel`].
+//! * [`Task`] / [`TaskStorage`] — speculative tasks with live-in recording
+//!   and live-out buffering.
+//! * [`Master`] — the fast path: distilled-program execution, checkpoint
+//!   segments, PC translation.
+//! * [`UnitCost`] — the functional cost model (timing-free runs).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mssp_isa::asm::assemble;
+//! use mssp_analysis::Profile;
+//! use mssp_distill::{distill, DistillConfig};
+//! use mssp_core::{Engine, EngineConfig, UnitCost};
+//!
+//! let program = assemble(
+//!     "main: addi s0, zero, 100
+//!      loop: add  s1, s1, s0
+//!            addi s0, s0, -1
+//!            bnez s0, loop
+//!            halt",
+//! ).unwrap();
+//! let profile = Profile::collect(&program, u64::MAX).unwrap();
+//! let distilled = distill(&program, &profile, &DistillConfig::default()).unwrap();
+//!
+//! let run = Engine::new(&program, &distilled, EngineConfig::default(), UnitCost)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(run.state.reg(mssp_isa::Reg::S1), 5050);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cost;
+mod engine;
+mod master;
+mod refinement;
+mod task;
+mod threaded;
+
+pub use cost::{CoreRole, CostModel, UnitCost};
+pub use engine::{Engine, EngineConfig, EngineError, EngineStats, MismatchSample, MsspRun, SquashReason};
+pub use master::{Master, MasterStall};
+pub use refinement::{check_refinement, RefinementError};
+pub use task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus, TaskStorage};
+pub use threaded::{run_threaded, ThreadedRun};

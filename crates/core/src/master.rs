@@ -1,0 +1,382 @@
+//! The master processor: executes the distilled program and generates
+//! checkpoints.
+//!
+//! The master is deliberately untrusted — the engine treats it as a black
+//! box emitting (start-PC, overlay) predictions. Its state is:
+//!
+//! * `dpc` — program counter in *distilled* space;
+//! * `segment` — writes since the last spawn (becomes the next overlay
+//!   segment);
+//! * `live_segments` — one predicted-write set per in-flight task, pruned
+//!   as tasks commit (committed values are visible in architected state).
+//!
+//! Reads resolve through the master's cumulative writes since restart,
+//! then a **snapshot of architected state taken at restart** — the
+//! master's private cache view. Reading *live* architected state instead
+//! would let the verify pipeline (which can run ahead of a cache-cold
+//! master) feed the master values from its own future, desynchronizing it
+//! by a segment on every such race; the snapshot makes the master's view
+//! time-consistent, and staleness is resolved the MSSP way (squash and
+//! reseed).
+//!
+//! Indirect jumps land on *original*-space targets (the distiller
+//! preserves the original register/memory image), which the master
+//! translates back to distilled space via the distiller's PC map; an
+//! untranslatable target marks the master *lost* until the engine restarts
+//! it at the next recovery point.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use mssp_distill::Distilled;
+use mssp_isa::Reg;
+use mssp_machine::{step, Cell, Delta, MachineState, StepInfo, Storage};
+
+/// Why the master is not currently producing predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterStall {
+    /// Executing normally.
+    Active,
+    /// Executed the distilled program's `halt`.
+    Halted,
+    /// Jumped somewhere untranslatable or faulted; waiting for restart.
+    Lost,
+}
+
+/// The master processor state.
+#[derive(Debug, Clone)]
+pub struct Master {
+    dpc: u64,
+    /// Architected state as of this master's restart (its cache view).
+    base: MachineState,
+    /// All writes since restart (the master's own read view).
+    cum: Delta,
+    /// Writes since the last spawn (becomes the next overlay segment).
+    segment: Delta,
+    live_segments: VecDeque<(u64, Arc<Delta>)>,
+    status: MasterStall,
+    instructions: u64,
+    /// Boundary crossings since the last spawn trigger.
+    crossings: u64,
+    /// Crossings that make one task (from the distiller).
+    crossings_per_task: u64,
+    /// Pending spawn: original-space start PC for the next task.
+    pending_spawn: Option<u64>,
+}
+
+impl Master {
+    /// Creates a master restarted at original-space PC `orig_pc`, seeded
+    /// with `base` (a snapshot of architected state at a consistent
+    /// point) and spawning its first task there.
+    ///
+    /// If `orig_pc` has no distilled image the master starts lost (the
+    /// engine will fall back to sequential recovery segments).
+    #[must_use]
+    pub fn restart_at(
+        distilled: &Distilled,
+        orig_pc: u64,
+        spawn_first: bool,
+        base: MachineState,
+    ) -> Master {
+        let (dpc, status) = match distilled.to_dist(orig_pc) {
+            Some(d) => (d, MasterStall::Active),
+            None => (0, MasterStall::Lost),
+        };
+        Master {
+            dpc,
+            base,
+            cum: Delta::new(),
+            segment: Delta::new(),
+            live_segments: VecDeque::new(),
+            status,
+            instructions: 0,
+            crossings: 0,
+            crossings_per_task: distilled.crossings_per_task(),
+            pending_spawn: if spawn_first && status == MasterStall::Active {
+                Some(orig_pc)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> MasterStall {
+        self.status
+    }
+
+    /// Whether the master wants to spawn a task and is waiting for a free
+    /// slave. While pending, the master does not execute.
+    #[must_use]
+    pub fn pending_spawn(&self) -> Option<u64> {
+        self.pending_spawn
+    }
+
+    /// Total distilled instructions executed since restart.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of in-flight predicted segments (diagnostic).
+    #[must_use]
+    pub fn live_segment_count(&self) -> usize {
+        self.live_segments.len()
+    }
+
+    /// Completes a pending spawn: closes the current segment under
+    /// `prev_task` (the last task spawned before this one, if any) and
+    /// returns `(start_pc, overlay)` for the new task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no spawn is pending.
+    pub fn take_spawn(&mut self, prev_task: Option<u64>) -> (u64, Vec<Arc<Delta>>) {
+        let start = self.pending_spawn.take().expect("spawn must be pending");
+        if let Some(prev) = prev_task {
+            let seg = Arc::new(std::mem::take(&mut self.segment));
+            self.live_segments.push_back((prev, seg));
+        }
+        // Overlay: newest segment first.
+        let overlay: Vec<Arc<Delta>> = self
+            .live_segments
+            .iter()
+            .rev()
+            .map(|(_, d)| Arc::clone(d))
+            .collect();
+        (start, overlay)
+    }
+
+    /// Marks the master lost (used by the engine's run-ahead bound). A
+    /// lost master produces nothing until restarted at a recovery point.
+    pub fn mark_lost(&mut self) {
+        self.status = MasterStall::Lost;
+        self.pending_spawn = None;
+    }
+
+    /// Prunes predicted segments for tasks up to and including `task_id`.
+    /// This trims only the overlays handed to *future* tasks (committed
+    /// results are visible to them in architected state); the master's own
+    /// read view (`cum` over the restart snapshot) is unaffected.
+    pub fn on_commit(&mut self, task_id: u64) {
+        while matches!(self.live_segments.front(), Some((id, _)) if *id <= task_id) {
+            self.live_segments.pop_front();
+        }
+    }
+
+    /// Executes one distilled instruction. Returns the step info, or
+    /// `None` if the master is stalled (halted/lost/pending spawn).
+    /// Landing on a task boundary arms a pending spawn, which also stalls
+    /// the master until the engine dispatches it.
+    pub fn step(&mut self, distilled: &Distilled) -> Option<StepInfo> {
+        if self.status != MasterStall::Active || self.pending_spawn.is_some() {
+            return None;
+        }
+        let mut storage = MasterStorage {
+            cum: &mut self.cum,
+            segment: &mut self.segment,
+            base: &self.base,
+        };
+        let info = match step(&mut storage, distilled.program(), self.dpc) {
+            Ok(info) => info,
+            Err(_) => {
+                self.status = MasterStall::Lost;
+                return None;
+            }
+        };
+        self.instructions += 1;
+        if info.halted {
+            self.status = MasterStall::Halted;
+            return Some(info);
+        }
+        let mut next = info.next_pc;
+        if info.instr.is_indirect_jump() {
+            // Indirect targets are original-space addresses (preserved
+            // image); translate back into distilled space.
+            match distilled.to_dist(next) {
+                Some(d) => next = d,
+                None => {
+                    self.status = MasterStall::Lost;
+                    return Some(info);
+                }
+            }
+        }
+        self.dpc = next;
+        if let Some(orig_pc) = distilled.boundary_at_dist(next) {
+            self.crossings += 1;
+            if self.crossings >= self.crossings_per_task {
+                self.crossings = 0;
+                self.pending_spawn = Some(orig_pc);
+            }
+        }
+        Some(info)
+    }
+}
+
+/// The master's storage: cumulative writes since restart over the restart
+/// snapshot. Writes also land in the current segment (the next task's
+/// overlay).
+struct MasterStorage<'a> {
+    cum: &'a mut Delta,
+    segment: &'a mut Delta,
+    base: &'a MachineState,
+}
+
+impl MasterStorage<'_> {
+    fn read_cell(&self, cell: Cell) -> u64 {
+        self.cum
+            .get(cell)
+            .unwrap_or_else(|| self.base.read_cell(cell))
+    }
+
+    fn write_cell(&mut self, cell: Cell, value: u64) {
+        self.cum.set(cell, value);
+        self.segment.set(cell, value);
+    }
+}
+
+impl Storage for MasterStorage<'_> {
+    fn read_reg(&mut self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.read_cell(Cell::Reg(r))
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.write_cell(Cell::Reg(r), value);
+        }
+    }
+
+    fn load_word(&mut self, widx: u64) -> u64 {
+        self.read_cell(Cell::Mem(widx))
+    }
+
+    fn store_word(&mut self, widx: u64, value: u64) {
+        self.write_cell(Cell::Mem(widx), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_analysis::Profile;
+    use mssp_distill::{distill, DistillConfig, DistillLevel};
+    use mssp_isa::asm::assemble;
+
+    fn setup(src: &str, target: u64) -> (mssp_isa::Program, Distilled) {
+        let p = assemble(src).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let cfg = DistillConfig {
+            target_task_size: target,
+            ..DistillConfig::at_level(DistillLevel::None)
+        };
+        (p.clone(), distill(&p, &prof, &cfg).unwrap())
+    }
+
+    const LOOP: &str = "
+        main: addi s0, zero, 40
+        loop: addi s1, s1, 1
+              addi s0, s0, -1
+              bnez s0, loop
+              halt";
+
+    #[test]
+    fn master_spawns_at_entry_then_at_boundaries() {
+        let (p, d) = setup(LOOP, 10);
+        let arch = MachineState::boot(&p);
+        let mut m = Master::restart_at(&d, p.entry(), true, arch.clone());
+        assert_eq!(m.pending_spawn(), Some(p.entry()));
+        let (start, overlay) = m.take_spawn(None);
+        assert_eq!(start, p.entry());
+        assert!(overlay.is_empty());
+
+        // Run until the next spawn trigger.
+        let mut steps = 0;
+        while m.pending_spawn().is_none() && m.status() == MasterStall::Active {
+            m.step(&d).unwrap();
+            steps += 1;
+            assert!(steps < 1000);
+        }
+        let next = m.pending_spawn().unwrap();
+        assert!(d.boundaries().contains(&next));
+    }
+
+    #[test]
+    fn overlay_accumulates_segments_in_flight() {
+        let (p, d) = setup(LOOP, 10);
+        let arch = MachineState::boot(&p);
+        let mut m = Master::restart_at(&d, p.entry(), true, arch.clone());
+        let (_, ov0) = m.take_spawn(None);
+        assert!(ov0.is_empty());
+
+        let mut last_task = 0u64;
+        let mut overlays = Vec::new();
+        for task_id in 1..=3u64 {
+            while m.pending_spawn().is_none() {
+                assert!(m.step(&d).is_some());
+            }
+            let (_, ov) = m.take_spawn(Some(last_task));
+            last_task = task_id;
+            overlays.push(ov);
+        }
+        assert_eq!(overlays[0].len(), 1);
+        assert_eq!(overlays[1].len(), 2);
+        assert_eq!(overlays[2].len(), 3);
+        // Newest-first: the first overlay entry of the last spawn holds
+        // the most recent s0 value.
+        let newest = &overlays[2][0];
+        let oldest = &overlays[2][2];
+        let newest_s0 = newest.get(Cell::Reg(Reg::S0)).unwrap();
+        let oldest_s0 = oldest.get(Cell::Reg(Reg::S0)).unwrap();
+        assert!(newest_s0 < oldest_s0, "{newest_s0} vs {oldest_s0}");
+    }
+
+    #[test]
+    fn commit_prunes_old_segments() {
+        let (p, d) = setup(LOOP, 10);
+        let arch = MachineState::boot(&p);
+        let mut m = Master::restart_at(&d, p.entry(), true, arch.clone());
+        let _ = m.take_spawn(None);
+        let mut last = 0u64;
+        for id in 1..=3u64 {
+            while m.pending_spawn().is_none() {
+                m.step(&d);
+            }
+            let _ = m.take_spawn(Some(last));
+            last = id;
+        }
+        assert_eq!(m.live_segment_count(), 3);
+        m.on_commit(0);
+        assert_eq!(m.live_segment_count(), 2);
+        m.on_commit(2);
+        assert_eq!(m.live_segment_count(), 0);
+    }
+
+    #[test]
+    fn master_halts_with_program() {
+        let (p, d) = setup(LOOP, 10);
+        let arch = MachineState::boot(&p);
+        let mut m = Master::restart_at(&d, p.entry(), false, arch.clone());
+        for _ in 0..10_000 {
+            if m.pending_spawn().is_some() {
+                let _ = m.take_spawn(None);
+            }
+            if m.step(&d).is_none() {
+                break;
+            }
+        }
+        assert_eq!(m.status(), MasterStall::Halted);
+    }
+
+    #[test]
+    fn unmapped_restart_is_lost() {
+        let (_, d) = setup(LOOP, 10);
+        let m = Master::restart_at(&d, 0xDEAD_BEE0, true, MachineState::new());
+        assert_eq!(m.status(), MasterStall::Lost);
+        assert_eq!(m.pending_spawn(), None);
+    }
+}

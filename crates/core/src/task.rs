@@ -1,0 +1,415 @@
+//! Tasks: the unit of speculative work, with live-in/live-out capture.
+//!
+//! A task executes a segment of the **original** program on a slave,
+//! reading through a layered view of machine state:
+//!
+//! 1. its own writes (the live-out set under construction),
+//! 2. previously recorded live-ins (so re-reads are repeatable even while
+//!    older tasks commit underneath),
+//! 3. the master's checkpoint overlay (predicted values for cells the
+//!    master believes it modified since the last committed point), and
+//! 4. the architected state.
+//!
+//! Every read satisfied below layer 1 is recorded as a live-in `(cell,
+//! value)`. At commit time, the verify unit re-checks each recorded value
+//! against architected state — the memoization test of the paper — which
+//! makes the task's execution *safe* in the formal sense: consistency +
+//! completeness ⇒ committing it advances architected state exactly as the
+//! sequential machine would (Theorem 2).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mssp_isa::Reg;
+use mssp_machine::{expand_mask, Cell, Delta, MachineState, Storage};
+use serde::{Deserialize, Serialize};
+
+/// Unique task identity, increasing in spawn (= program) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// How a finished task ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskEnd {
+    /// Reached a task-boundary PC; carries the end PC (the expected start
+    /// of the next task).
+    Boundary(u64),
+    /// Executed `halt`; carries the halt PC.
+    Halted(u64),
+    /// Exceeded the task instruction cap without reaching a boundary
+    /// (typically a mis-steered task); always squashes.
+    Overrun,
+    /// Faulted (e.g. jumped outside the text segment after consuming a
+    /// garbage prediction); always squashes.
+    Fault,
+}
+
+/// Execution status of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Still executing on its slave.
+    Running,
+    /// Finished; result available at `done_at` (simulated time).
+    Done {
+        /// How it ended.
+        end: TaskEnd,
+        /// Simulated cycle at which the result reached the verify unit.
+        done_at: u64,
+    },
+}
+
+/// A speculative task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task identity (spawn order).
+    pub id: TaskId,
+    /// Original-program PC the task starts at.
+    pub start_pc: u64,
+    /// Current PC while running.
+    pub pc: u64,
+    /// Slave core executing this task.
+    pub slave: usize,
+    /// Master-predicted overlay, newest segment first.
+    pub overlay: Vec<Arc<Delta>>,
+    /// Recorded live-ins.
+    pub live_ins: Delta,
+    /// Accumulated writes (live-outs).
+    pub writes: Delta,
+    /// Instructions executed so far.
+    pub executed: u64,
+    /// Boundary crossings seen so far (a task ends at the Nth).
+    pub crossings: u64,
+    /// Execution status.
+    pub status: TaskStatus,
+}
+
+impl Task {
+    /// Creates a freshly spawned task.
+    #[must_use]
+    pub fn new(id: TaskId, start_pc: u64, slave: usize, overlay: Vec<Arc<Delta>>) -> Task {
+        Task {
+            id,
+            start_pc,
+            pc: start_pc,
+            slave,
+            overlay,
+            live_ins: Delta::new(),
+            writes: Delta::new(),
+            executed: 0,
+            crossings: 0,
+            status: TaskStatus::Running,
+        }
+    }
+
+    /// Whether the task has finished (successfully or not).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.status, TaskStatus::Done { .. })
+    }
+
+    /// A [`Storage`] view for executing one instruction of this task
+    /// against the given architected state.
+    pub fn storage<'a>(&'a mut self, arch: &'a MachineState) -> TaskStorage<'a> {
+        self.storage_with_granularity(arch, false)
+    }
+
+    /// Like [`Task::storage`], optionally degrading live-in tracking to
+    /// whole-word granularity (the ablation of byte masking: sub-word
+    /// stores read-modify-write their containing word and record it
+    /// entirely as a live-in, recreating false sharing between adjacent
+    /// tasks).
+    pub fn storage_with_granularity<'a>(
+        &'a mut self,
+        arch: &'a MachineState,
+        word_granular: bool,
+    ) -> TaskStorage<'a> {
+        TaskStorage {
+            writes: &mut self.writes,
+            live_ins: &mut self.live_ins,
+            overlay: &self.overlay,
+            arch,
+            word_granular,
+        }
+    }
+}
+
+/// The layered, live-in-recording storage a slave executes against.
+///
+/// See the crate documentation for the read path. Writes go only
+/// to the task's private write buffer — slaves can never touch architected
+/// state, which is the structural reason the fast path cannot compromise
+/// correctness.
+#[derive(Debug)]
+pub struct TaskStorage<'a> {
+    writes: &'a mut Delta,
+    live_ins: &'a mut Delta,
+    overlay: &'a [Arc<Delta>],
+    arch: &'a MachineState,
+    word_granular: bool,
+}
+
+impl TaskStorage<'_> {
+    /// Gathers the requested bytes of `cell`, layer by layer, recording
+    /// as live-ins exactly the bytes that had to come from below the
+    /// task's own writes.
+    fn read_cell_masked(&mut self, cell: Cell, mask: u8) -> u64 {
+        let mut out = 0u64;
+        let mut need = mask;
+        if let Some(w) = self.writes.get_masked(cell) {
+            let take = need & w.mask;
+            out |= w.value & expand_mask(take);
+            need &= !take;
+        }
+        if need != 0 {
+            if let Some(r) = self.live_ins.get_masked(cell) {
+                let take = need & r.mask;
+                out |= r.value & expand_mask(take);
+                need &= !take;
+            }
+        }
+        if need != 0 {
+            for seg in self.overlay {
+                let Some(p) = seg.get_masked(cell) else { continue };
+                let take = need & p.mask;
+                if take != 0 {
+                    let bytes = p.value & expand_mask(take);
+                    out |= bytes;
+                    self.live_ins.record_bytes(cell, bytes, take);
+                    need &= !take;
+                }
+                if need == 0 {
+                    break;
+                }
+            }
+        }
+        if need != 0 {
+            let bytes = self.arch.read_cell(cell) & expand_mask(need);
+            out |= bytes;
+            self.live_ins.record_bytes(cell, bytes, need);
+        }
+        out
+    }
+}
+
+impl Storage for TaskStorage<'_> {
+    fn read_reg(&mut self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.read_cell_masked(Cell::Reg(r), 0xFF)
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.writes.set(Cell::Reg(r), value);
+        }
+    }
+
+    fn load_word(&mut self, widx: u64) -> u64 {
+        self.read_cell_masked(Cell::Mem(widx), 0xFF)
+    }
+
+    fn load_word_masked(&mut self, widx: u64, mask: u8) -> u64 {
+        let mask = if self.word_granular { 0xFF } else { mask };
+        let word = self.read_cell_masked(Cell::Mem(widx), mask);
+        word
+    }
+
+    fn store_word(&mut self, widx: u64, value: u64) {
+        self.writes.set(Cell::Mem(widx), value);
+    }
+
+    fn store_word_masked(&mut self, widx: u64, value: u64, mask: u8) {
+        if self.word_granular && mask != 0xFF {
+            // Ablation mode: classic read-modify-write of the whole word,
+            // recording a full-word live-in (false sharing included).
+            let em = mssp_machine::expand_mask(mask);
+            let old = self.read_cell_masked(Cell::Mem(widx), 0xFF);
+            self.writes.set(Cell::Mem(widx), (old & !em) | (value & em));
+        } else {
+            // Byte-masked buffering: no read of the underlying word, hence
+            // no false live-in on bytes this task never touches.
+            self.writes.set_bytes(Cell::Mem(widx), value, mask);
+        }
+    }
+}
+
+/// Storage for a non-speculative recovery segment: reads see the task's
+/// own writes over architected state directly (no prediction overlay, no
+/// live-in recording — the values *are* correct by construction), writes
+/// are buffered for one atomic commit at segment end.
+#[derive(Debug)]
+pub struct RecoveryStorage<'a> {
+    /// The recovery segment's private write buffer.
+    pub writes: &'a mut Delta,
+    /// The architected state being read through.
+    pub arch: &'a MachineState,
+}
+
+impl Storage for RecoveryStorage<'_> {
+    fn read_reg(&mut self, r: Reg) -> u64 {
+        if r.is_zero() {
+            return 0;
+        }
+        self.writes
+            .get(Cell::Reg(r))
+            .unwrap_or_else(|| self.arch.reg(r))
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.writes.set(Cell::Reg(r), value);
+        }
+    }
+
+    fn load_word(&mut self, widx: u64) -> u64 {
+        self.writes
+            .get(Cell::Mem(widx))
+            .unwrap_or_else(|| self.arch.load_word(widx))
+    }
+
+    fn store_word(&mut self, widx: u64, value: u64) {
+        self.writes.set(Cell::Mem(widx), value);
+    }
+}
+
+/// A static set of task-boundary PCs with the end-of-task test.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BoundarySet {
+    pcs: BTreeSet<u64>,
+}
+
+impl BoundarySet {
+    /// Creates a boundary set from original-program PCs.
+    #[must_use]
+    pub fn new(pcs: BTreeSet<u64>) -> BoundarySet {
+        BoundarySet { pcs }
+    }
+
+    /// Whether `pc` is a task boundary.
+    #[must_use]
+    pub fn contains(&self, pc: u64) -> bool {
+        self.pcs.contains(&pc)
+    }
+
+    /// The underlying PC set.
+    #[must_use]
+    pub fn pcs(&self) -> &BTreeSet<u64> {
+        &self.pcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(pairs: &[(Cell, u64)]) -> Arc<Delta> {
+        Arc::new(pairs.iter().copied().collect())
+    }
+
+    #[test]
+    fn reads_layer_in_priority_order() {
+        let mut arch = MachineState::new();
+        arch.store_word(1, 100);
+        arch.store_word(2, 200);
+        arch.store_word(3, 300);
+        let overlay = vec![
+            delta(&[(Cell::Mem(2), 222)]),          // newest segment
+            delta(&[(Cell::Mem(2), 211), (Cell::Mem(3), 333)]), // older
+        ];
+        let mut task = Task::new(TaskId(0), 0x100, 0, overlay);
+        let mut st = task.storage(&arch);
+        assert_eq!(st.load_word(1), 100); // from arch
+        assert_eq!(st.load_word(2), 222); // newest overlay wins
+        assert_eq!(st.load_word(3), 333); // older overlay
+        st.store_word(1, 111);
+        assert_eq!(st.load_word(1), 111); // own write wins
+    }
+
+    #[test]
+    fn live_ins_record_first_observed_value() {
+        let mut arch = MachineState::new();
+        arch.store_word(5, 50);
+        let mut task = Task::new(TaskId(0), 0, 0, Vec::new());
+        {
+            let mut st = task.storage(&arch);
+            assert_eq!(st.load_word(5), 50);
+        }
+        // Architected state changes (an older task committed).
+        arch.store_word(5, 51);
+        {
+            let mut st = task.storage(&arch);
+            // The task re-reads its recorded live-in, not the new value:
+            // its view stays internally consistent.
+            assert_eq!(st.load_word(5), 50);
+        }
+        assert_eq!(task.live_ins.get(Cell::Mem(5)), Some(50));
+        // ...and verification against the *current* state now fails.
+        assert!(!task.live_ins.consistent_with_state(&arch));
+    }
+
+    #[test]
+    fn own_writes_are_not_live_ins() {
+        let arch = MachineState::new();
+        let mut task = Task::new(TaskId(0), 0, 0, Vec::new());
+        let mut st = task.storage(&arch);
+        st.write_reg(Reg::A0, 9);
+        assert_eq!(st.read_reg(Reg::A0), 9);
+        drop(st);
+        assert!(task.live_ins.is_empty());
+        assert_eq!(task.writes.get(Cell::Reg(Reg::A0)), Some(9));
+    }
+
+    #[test]
+    fn overlay_reads_are_recorded_as_live_ins() {
+        let arch = MachineState::new();
+        let overlay = vec![delta(&[(Cell::Reg(Reg::A1), 7)])];
+        let mut task = Task::new(TaskId(0), 0, 0, overlay);
+        {
+            let mut st = task.storage(&arch);
+            assert_eq!(st.read_reg(Reg::A1), 7);
+        }
+        // The predicted value is a live-in: it must match architected
+        // state at commit or the task squashes.
+        assert_eq!(task.live_ins.get(Cell::Reg(Reg::A1)), Some(7));
+        assert!(!task.live_ins.consistent_with_state(&arch)); // arch has 0
+    }
+
+    #[test]
+    fn zero_register_is_never_recorded() {
+        let arch = MachineState::new();
+        let mut task = Task::new(TaskId(0), 0, 0, Vec::new());
+        let mut st = task.storage(&arch);
+        assert_eq!(st.read_reg(Reg::ZERO), 0);
+        st.write_reg(Reg::ZERO, 5);
+        drop(st);
+        assert!(task.live_ins.is_empty());
+        assert!(task.writes.is_empty());
+    }
+
+    #[test]
+    fn recovery_storage_reads_through_and_buffers_writes() {
+        let mut arch = MachineState::new();
+        arch.set_reg(Reg::A0, 4);
+        let mut writes = Delta::new();
+        let mut st = RecoveryStorage {
+            writes: &mut writes,
+            arch: &arch,
+        };
+        assert_eq!(st.read_reg(Reg::A0), 4);
+        st.write_reg(Reg::A0, 5);
+        assert_eq!(st.read_reg(Reg::A0), 5);
+        // Arch untouched until the atomic commit.
+        assert_eq!(arch.reg(Reg::A0), 4);
+        assert_eq!(writes.get(Cell::Reg(Reg::A0)), Some(5));
+    }
+
+    #[test]
+    fn boundary_set_membership() {
+        let b = BoundarySet::new(BTreeSet::from([0x100, 0x200]));
+        assert!(b.contains(0x100));
+        assert!(!b.contains(0x104));
+        assert_eq!(b.pcs().len(), 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! A threaded MSSP executor: slaves run on real OS threads.
+//!
+//! The discrete-time [`crate::Engine`] is the reference implementation —
+//! deterministic and cost-model-driven. This module demonstrates the same
+//! protocol on actual parallel hardware: worker threads execute
+//! speculative tasks concurrently while the coordinator thread runs the
+//! master and the in-order verify/commit unit.
+//!
+//! Wall-clock timing is nondeterministic, but the committed architected
+//! state is not: verification forces every interleaving to the sequential
+//! result, which the test suite asserts against [`crate::Engine`] and the
+//! sequential machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mssp_distill::Distilled;
+use mssp_isa::Program;
+use mssp_machine::{step, MachineState};
+use parking_lot::RwLock;
+
+use crate::master::{Master, MasterStall};
+use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId};
+use crate::{EngineConfig, EngineError, EngineStats};
+
+/// Result of a threaded MSSP run.
+#[derive(Debug)]
+pub struct ThreadedRun {
+    /// The final architected state (always equals sequential execution).
+    pub state: MachineState,
+    /// Statistics (cycle fields are zero: wall-clock is not simulated).
+    pub stats: EngineStats,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+}
+
+struct WorkItem {
+    epoch: u64,
+    task: Task,
+}
+
+struct WorkResult {
+    epoch: u64,
+    task: Task,
+    end: TaskEnd,
+}
+
+/// Runs the MSSP protocol with `config.num_slaves` worker threads.
+///
+/// # Errors
+///
+/// Returns [`EngineError::RecoveryFault`] if the original program faults
+/// during non-speculative recovery (a malformed program), or
+/// [`EngineError::RecoveryLimit`] if a recovery segment exceeds its cap.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[allow(clippy::too_many_lines)]
+pub fn run_threaded(
+    original: &Program,
+    distilled: &Distilled,
+    config: EngineConfig,
+) -> Result<ThreadedRun, EngineError> {
+    assert!(config.num_slaves > 0, "MSSP needs at least one slave");
+    let start_time = std::time::Instant::now();
+    let arch = Arc::new(RwLock::new(MachineState::boot(original)));
+    let boundaries = Arc::new(BoundarySet::new(distilled.boundaries().clone()));
+    let crossings_per_task = distilled.crossings_per_task().max(1);
+    let current_epoch = Arc::new(AtomicU64::new(0));
+
+    let (work_tx, work_rx) = unbounded::<WorkItem>();
+    let (result_tx, result_rx) = unbounded::<WorkResult>();
+
+    let mut stats = EngineStats::default();
+
+    std::thread::scope(|scope| -> Result<MachineState, EngineError> {
+        // ---- workers ----
+        for _ in 0..config.num_slaves {
+            let work_rx: Receiver<WorkItem> = work_rx.clone();
+            let result_tx: Sender<WorkResult> = result_tx.clone();
+            let arch = Arc::clone(&arch);
+            let boundaries = Arc::clone(&boundaries);
+            let current_epoch = Arc::clone(&current_epoch);
+            let original = &*original;
+            let max_task = config.max_task_instrs;
+            scope.spawn(move || {
+                while let Ok(WorkItem { epoch, mut task }) = work_rx.recv() {
+                    let end = loop {
+                        // Abandon stale work promptly after a squash.
+                        if task.executed % 64 == 0
+                            && current_epoch.load(Ordering::Relaxed) != epoch
+                        {
+                            break TaskEnd::Overrun;
+                        }
+                        let pc = task.pc;
+                        let result = {
+                            let arch = arch.read();
+                            let mut storage = task.storage(&arch);
+                            step(&mut storage, original, pc)
+                        };
+                        match result {
+                            Err(_) => break TaskEnd::Fault,
+                            Ok(info) => {
+                                if info.halted {
+                                    break TaskEnd::Halted(pc);
+                                }
+                                task.executed += 1;
+                                task.pc = info.next_pc;
+                                if boundaries.contains(info.next_pc) {
+                                    task.crossings += 1;
+                                    if task.crossings >= crossings_per_task {
+                                        break TaskEnd::Boundary(info.next_pc);
+                                    }
+                                }
+                                if task.executed >= max_task {
+                                    break TaskEnd::Overrun;
+                                }
+                            }
+                        }
+                    };
+                    if result_tx.send(WorkResult { epoch, task, end }).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx); // coordinator keeps only the receiver
+
+        // ---- coordinator: master + in-order verify/commit ----
+        let entry = arch.read().pc();
+        let mut master = Master::restart_at(distilled, entry, true, arch.read().clone());
+        let mut last_spawned: Option<u64> = None;
+        let mut next_id = 0u64;
+        let mut in_flight: std::collections::VecDeque<TaskId> =
+            std::collections::VecDeque::new();
+        let mut done: std::collections::BTreeMap<u64, (Task, TaskEnd)> =
+            std::collections::BTreeMap::new();
+        let mut epoch = 0u64;
+        let mut halted = false;
+        let mut master_steps_since_spawn = 0u64;
+
+        'run: while !halted {
+            // 1. Drive the master while it has headroom.
+            let mut spawned_this_round = false;
+            for _ in 0..256 {
+                if master.status() != MasterStall::Active {
+                    break;
+                }
+                if master.pending_spawn().is_some() {
+                    if in_flight.len() >= config.num_slaves * 2 {
+                        break; // enough speculation outstanding
+                    }
+                    let (start, overlay) = master.take_spawn(last_spawned);
+                    let id = TaskId(next_id);
+                    next_id += 1;
+                    let task = Task::new(id, start, 0, overlay);
+                    stats.spawned_tasks += 1;
+                    in_flight.push_back(id);
+                    last_spawned = Some(id.0);
+                    master_steps_since_spawn = 0;
+                    work_tx
+                        .send(WorkItem { epoch, task })
+                        .expect("workers alive");
+                    spawned_this_round = true;
+                    continue;
+                }
+                if master.step(distilled).is_some() {
+                    stats.master_instructions += 1;
+                    master_steps_since_spawn += 1;
+                    if master_steps_since_spawn > config.master_runahead {
+                        master.mark_lost();
+                    }
+                } else {
+                    break;
+                }
+            }
+
+            // 2. Collect results.
+            let blocked_on_result = in_flight
+                .front()
+                .is_some_and(|id| !done.contains_key(&id.0));
+            let mut received = false;
+            loop {
+                let msg = if blocked_on_result && !received && !spawned_this_round {
+                    // Nothing else to do: block for the oldest result.
+                    match result_rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    }
+                } else {
+                    match result_rx.try_recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    }
+                };
+                received = true;
+                if msg.epoch == epoch {
+                    done.insert(msg.task.id.0, (msg.task, msg.end));
+                }
+            }
+
+            // 3. Verify/commit in order.
+            while let Some(&oldest) = in_flight.front() {
+                let Some((task, end)) = done.remove(&oldest.0) else {
+                    break;
+                };
+                in_flight.pop_front();
+                let mut squash = None;
+                {
+                    let mut arch_w = arch.write();
+                    let start_ok = task.start_pc == arch_w.pc();
+                    match end {
+                        TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc)
+                            if start_ok && task.live_ins.consistent_with_state(&arch_w) =>
+                        {
+                            arch_w.apply(&task.writes);
+                            arch_w.set_pc(end_pc);
+                            stats.committed_tasks += 1;
+                            stats.committed_instructions += task.executed;
+                            stats.live_in_cells += task.live_ins.len() as u64;
+                            stats.live_out_cells += task.writes.len() as u64;
+                            master.on_commit(task.id.0);
+                            if matches!(end, TaskEnd::Halted(_)) {
+                                halted = true;
+                            }
+                        }
+                        _ => squash = Some(()),
+                    }
+                }
+                if halted {
+                    break 'run;
+                }
+                if squash.is_some() {
+                    // Squash everything younger and run recovery.
+                    stats.squashed_tasks += 1 + in_flight.len() as u64;
+                    stats.squashes_live_in += 1;
+                    epoch += 1;
+                    current_epoch.store(epoch, Ordering::Relaxed);
+                    in_flight.clear();
+                    done.clear();
+                    let recovered = run_recovery(
+                        original,
+                        &boundaries,
+                        crossings_per_task,
+                        &arch,
+                        config.max_recovery_instrs,
+                    )?;
+                    stats.recovery_segments += 1;
+                    stats.recovery_instructions += recovered.0;
+                    stats.committed_instructions += recovered.0;
+                    if recovered.1 {
+                        break 'run;
+                    }
+                    let snapshot = arch.read().clone();
+                    let pc = snapshot.pc();
+                    master = Master::restart_at(distilled, pc, true, snapshot);
+                    last_spawned = None;
+                    master_steps_since_spawn = 0;
+                    break;
+                }
+            }
+
+            // 4. Master starved (lost/halted with nothing in flight):
+            //    sequential recovery.
+            if !halted
+                && in_flight.is_empty()
+                && master.status() != MasterStall::Active
+            {
+                let recovered = run_recovery(
+                    original,
+                    &boundaries,
+                    crossings_per_task,
+                    &arch,
+                    config.max_recovery_instrs,
+                )?;
+                stats.recovery_segments += 1;
+                stats.recovery_instructions += recovered.0;
+                stats.committed_instructions += recovered.0;
+                if recovered.1 {
+                    halted = true;
+                } else {
+                    let snapshot = arch.read().clone();
+                    let pc = snapshot.pc();
+                    master = Master::restart_at(distilled, pc, true, snapshot);
+                    last_spawned = None;
+                    master_steps_since_spawn = 0;
+                }
+            }
+        }
+
+        drop(work_tx); // workers drain and exit
+        let final_state = arch.read().clone();
+        Ok(final_state)
+    })
+    .map(|state| ThreadedRun {
+        state,
+        stats,
+        elapsed: start_time.elapsed(),
+    })
+}
+
+/// Executes one non-speculative segment from the architected PC to the
+/// next task end, committing atomically. Returns (instructions, halted).
+fn run_recovery(
+    original: &Program,
+    boundaries: &BoundarySet,
+    crossings_per_task: u64,
+    arch: &RwLock<MachineState>,
+    cap: u64,
+) -> Result<(u64, bool), EngineError> {
+    let snapshot = arch.read().clone();
+    let mut writes = mssp_machine::Delta::new();
+    let mut pc = snapshot.pc();
+    let mut executed = 0u64;
+    let mut crossings = 0u64;
+    let halted = loop {
+        let info = {
+            let mut storage = RecoveryStorage {
+                writes: &mut writes,
+                arch: &snapshot,
+            };
+            step(&mut storage, original, pc).map_err(EngineError::RecoveryFault)?
+        };
+        if info.halted {
+            break true;
+        }
+        executed += 1;
+        pc = info.next_pc;
+        if executed > cap {
+            return Err(EngineError::RecoveryLimit);
+        }
+        if boundaries.contains(pc) {
+            crossings += 1;
+            if crossings >= crossings_per_task {
+                break false;
+            }
+        }
+    };
+    let mut arch_w = arch.write();
+    arch_w.apply(&writes);
+    arch_w.set_pc(pc);
+    Ok((executed, halted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitCost;
+    use mssp_analysis::Profile;
+    use mssp_distill::{distill, DistillConfig};
+    use mssp_isa::asm::assemble;
+    use mssp_isa::Reg;
+    use mssp_machine::SeqMachine;
+
+    fn fixture() -> (Program, Distilled) {
+        let p = assemble(
+            "main:  addi s0, zero, 2000
+             loop:  add  s1, s1, s0
+                    mul  t0, s0, s0
+                    add  s1, s1, t0
+                    sd   s1, -8(sp)
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    halt",
+        )
+        .unwrap();
+        let profile = Profile::collect(&p, u64::MAX).unwrap();
+        let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
+        (p, d)
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let (p, d) = fixture();
+        let mut seq = SeqMachine::boot(&p);
+        seq.run(u64::MAX).unwrap();
+        let run = run_threaded(&p, &d, EngineConfig::default()).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        assert!(run.stats.committed_instructions > 0);
+    }
+
+    #[test]
+    fn threaded_matches_discrete_engine() {
+        let (p, d) = fixture();
+        let reference = crate::Engine::new(&p, &d, EngineConfig::default(), UnitCost)
+            .run()
+            .unwrap();
+        let run = run_threaded(&p, &d, EngineConfig::default()).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), reference.state.reg(Reg::S1));
+    }
+
+    #[test]
+    fn threaded_with_two_workers_repeats_deterministically_in_state() {
+        let (p, d) = fixture();
+        let cfg = EngineConfig {
+            num_slaves: 2,
+            ..EngineConfig::default()
+        };
+        let a = run_threaded(&p, &d, cfg).unwrap();
+        let b = run_threaded(&p, &d, cfg).unwrap();
+        // Wall-clock and task counts may differ; committed state may not.
+        assert_eq!(a.state.reg(Reg::S1), b.state.reg(Reg::S1));
+    }
+}

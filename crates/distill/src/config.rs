@@ -1,0 +1,137 @@
+//! Distillation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How aggressively the distiller approximates the original program.
+///
+/// More aggressive distillation yields a shorter (faster) distilled program
+/// but mispredicts live-ins more often — the central performance/accuracy
+/// tradeoff the ablation experiment (F8) sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistillLevel {
+    /// No approximation: the distilled program is a relocated copy of the
+    /// original (calls still rewritten to preserve the original's
+    /// register/memory image). The master's predictions are always right;
+    /// any residual slowdown/speedup isolates the paradigm's overheads.
+    None,
+    /// Remove only what the training run proves unused: blocks unreachable
+    /// once never-taken branch directions are asserted away, plus writes
+    /// that are dead in the resulting code.
+    Conservative,
+    /// Additionally assert branches whose training bias meets
+    /// [`DistillConfig::assert_bias`], accepting occasional mispredictions
+    /// in exchange for a much shorter fast path.
+    Aggressive,
+}
+
+impl DistillLevel {
+    /// All levels, in increasing aggressiveness (handy for sweeps).
+    #[must_use]
+    pub fn all() -> [DistillLevel; 3] {
+        [
+            DistillLevel::None,
+            DistillLevel::Conservative,
+            DistillLevel::Aggressive,
+        ]
+    }
+}
+
+impl std::fmt::Display for DistillLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DistillLevel::None => "none",
+            DistillLevel::Conservative => "conservative",
+            DistillLevel::Aggressive => "aggressive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full distiller configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_distill::{DistillConfig, DistillLevel};
+///
+/// let cfg = DistillConfig {
+///     target_task_size: 512,
+///     ..DistillConfig::default()
+/// };
+/// assert_eq!(cfg.level, DistillLevel::Aggressive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Approximation level.
+    pub level: DistillLevel,
+    /// Minimum training-run bias at which an `Aggressive` distiller
+    /// asserts a branch to its dominant direction (`0.5 < assert_bias <=
+    /// 1.0`). `Conservative` uses `1.0` regardless.
+    pub assert_bias: f64,
+    /// Desired average dynamic task length, in original-program
+    /// instructions. Boundary selection aims for this.
+    pub target_task_size: u64,
+    /// Base address at which the distilled text segment is placed; must
+    /// not overlap the original text or data.
+    pub dist_text_base: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> DistillConfig {
+        DistillConfig {
+            level: DistillLevel::Aggressive,
+            assert_bias: 0.9995,
+            target_task_size: 256,
+            dist_text_base: 0x0008_0000,
+        }
+    }
+}
+
+impl DistillConfig {
+    /// A configuration at the given level with default knobs.
+    #[must_use]
+    pub fn at_level(level: DistillLevel) -> DistillConfig {
+        DistillConfig {
+            level,
+            ..DistillConfig::default()
+        }
+    }
+
+    /// The effective assert threshold for this configuration: branches at
+    /// or above this bias get asserted.
+    ///
+    /// Returns `None` when the level never asserts ([`DistillLevel::None`]).
+    #[must_use]
+    pub fn effective_assert_bias(&self) -> Option<f64> {
+        match self.level {
+            DistillLevel::None => None,
+            DistillLevel::Conservative => Some(1.0),
+            DistillLevel::Aggressive => Some(self.assert_bias),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bias_by_level() {
+        assert_eq!(
+            DistillConfig::at_level(DistillLevel::None).effective_assert_bias(),
+            None
+        );
+        assert_eq!(
+            DistillConfig::at_level(DistillLevel::Conservative).effective_assert_bias(),
+            Some(1.0)
+        );
+        let agg = DistillConfig::at_level(DistillLevel::Aggressive);
+        assert!(agg.effective_assert_bias().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DistillLevel::Aggressive.to_string(), "aggressive");
+        assert_eq!(DistillLevel::all().len(), 3);
+    }
+}

@@ -1,0 +1,415 @@
+//! The distiller's relocatable intermediate representation.
+//!
+//! Between transformation and final layout, the distilled program is a list
+//! of [`DBlock`]s whose control-flow targets are *symbolic* (original-
+//! program block-start addresses). This lets dead-code elimination delete
+//! instructions without invalidating branch offsets; a final layout pass
+//! assigns distilled addresses and resolves offsets.
+
+use std::collections::BTreeMap;
+
+use mssp_analysis::RegSet;
+use mssp_isa::{Instr, INSTR_BYTES};
+
+/// Registers that must stay predictable at given original block starts:
+/// at every task boundary, slaves may read (as live-ins) any register the
+/// *original* program has live there, so the master must keep computing
+/// them. Maps original block-start address → required-live registers.
+pub(crate) type BoundaryLive = BTreeMap<u64, RegSet>;
+
+/// One instruction in the relocatable IR. Every variant encodes to exactly
+/// one ISA instruction, so layout is stable under everything except
+/// deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DInstr {
+    /// A verbatim (non-relative) instruction.
+    Copy(Instr),
+    /// A conditional branch to the block starting at the given *original*
+    /// address; falls through otherwise. The carried instruction's offset
+    /// field is ignored until layout.
+    Branch(Instr, u64),
+    /// An unconditional jump to the block starting at the given *original*
+    /// address.
+    Jump(u64),
+}
+
+impl DInstr {
+    fn def_reg(&self) -> Option<mssp_isa::Reg> {
+        match self {
+            DInstr::Copy(i) => i.def_reg(),
+            DInstr::Branch(..) | DInstr::Jump(_) => None,
+        }
+    }
+
+    fn use_regs(&self) -> [Option<mssp_isa::Reg>; 2] {
+        match self {
+            DInstr::Copy(i) | DInstr::Branch(i, _) => i.use_regs(),
+            DInstr::Jump(_) => [None, None],
+        }
+    }
+
+    /// Whether DCE may remove this instruction when its write is dead.
+    fn removable(&self) -> bool {
+        match self {
+            DInstr::Copy(i) => {
+                i.def_reg().is_some() && !i.is_store() && !i.is_control()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A block of the relocatable IR.
+#[derive(Debug, Clone)]
+pub(crate) struct DBlock {
+    /// Original-program address of the block's first instruction; doubles
+    /// as the symbolic name control flow targets.
+    pub orig_start: u64,
+    pub instrs: Vec<DInstr>,
+}
+
+/// How a block's execution can leave it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockExit {
+    /// Falls into the next emitted block (possibly also branching).
+    Open { branch_target: Option<u64> },
+    /// Always jumps to a known block.
+    Always(u64),
+    /// Ends at an indirect jump: successors unknown, every register live.
+    Barrier,
+    /// Ends at `halt`: *nothing* is live. The master's post-halt state is
+    /// never consumed (architected state is produced by slaves executing
+    /// the original program), so keeping values alive to the distilled
+    /// program's end would only inflate the fast path. Removing a write on
+    /// this basis is an approximation — if a slave does read the register
+    /// on some cold path, verification squashes — which is exactly the
+    /// performance-not-correctness contract of distillation.
+    End,
+}
+
+fn exit_of(block: &DBlock) -> BlockExit {
+    match block.instrs.last() {
+        Some(DInstr::Jump(t)) => BlockExit::Always(*t),
+        Some(DInstr::Branch(_, t)) => BlockExit::Open {
+            branch_target: Some(*t),
+        },
+        Some(DInstr::Copy(i)) if i.is_halt() => BlockExit::End,
+        Some(DInstr::Copy(i)) if i.is_indirect_jump() => BlockExit::Barrier,
+        _ => BlockExit::Open {
+            branch_target: None,
+        },
+    }
+}
+
+/// Dead-code elimination over the IR, to a fixpoint.
+///
+/// Returns the number of instructions removed. Liveness is the classic
+/// backward may-analysis; `halt` and indirect jumps keep all registers
+/// live, and a fall-through off the end of the IR is treated as a barrier
+/// too (it only happens for the final block).
+pub(crate) fn eliminate_dead_code(
+    blocks: &mut Vec<DBlock>,
+    boundary_live: &BoundaryLive,
+) -> usize {
+    let mut removed = 0;
+    loop {
+        let n = dce_pass(blocks, boundary_live);
+        if n == 0 {
+            return removed;
+        }
+        removed += n;
+    }
+}
+
+fn dce_pass(blocks: &mut Vec<DBlock>, boundary_live: &BoundaryLive) -> usize {
+    let index: BTreeMap<u64, usize> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.orig_start, i))
+        .collect();
+
+    // Block-level live-in fixpoint. Boundary blocks additionally require
+    // the original program's live set at their start (task live-ins).
+    let n = blocks.len();
+    let mut live_in = vec![RegSet::empty(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let out = block_exit_live(blocks, i, &index, &live_in);
+            let mut live = out;
+            for di in blocks[i].instrs.iter().rev() {
+                live = transfer(di, live);
+            }
+            if let Some(&req) = boundary_live.get(&blocks[i].orig_start) {
+                live = live.union(req);
+            }
+            if live != live_in[i] {
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // Removal sweep.
+    let mut removed = 0;
+    for i in 0..n {
+        let mut live = block_exit_live(blocks, i, &index, &live_in);
+        let mut keep = vec![true; blocks[i].instrs.len()];
+        for (j, di) in blocks[i].instrs.iter().enumerate().rev() {
+            if di.removable() {
+                if let Some(rd) = di.def_reg() {
+                    if !live.contains(rd) {
+                        keep[j] = false;
+                        removed += 1;
+                        continue; // dead instruction: no transfer
+                    }
+                }
+            }
+            live = transfer(di, live);
+        }
+        let mut it = keep.into_iter();
+        blocks[i].instrs.retain(|_| it.next().unwrap());
+    }
+    removed
+}
+
+fn block_exit_live(
+    blocks: &[DBlock],
+    i: usize,
+    index: &BTreeMap<u64, usize>,
+    live_in: &[RegSet],
+) -> RegSet {
+    let lookup = |t: u64| index.get(&t).map(|&j| live_in[j]).unwrap_or_else(RegSet::all);
+    match exit_of(&blocks[i]) {
+        BlockExit::Barrier => RegSet::all(),
+        BlockExit::End => RegSet::empty(),
+        BlockExit::Always(t) => lookup(t),
+        BlockExit::Open { branch_target } => {
+            let fall = if i + 1 < blocks.len() {
+                live_in[i + 1]
+            } else {
+                RegSet::all()
+            };
+            match branch_target {
+                Some(t) => fall.union(lookup(t)),
+                None => fall,
+            }
+        }
+    }
+}
+
+/// Strongly-live transfer: a *pure* definition (removable instruction)
+/// propagates its uses only when its own result is live. This kills
+/// self-sustaining dead chains — `addi s8, s8, 8`-style instrumentation
+/// counters whose only consumer is themselves — which classic may-liveness
+/// keeps alive forever.
+fn transfer(di: &DInstr, mut live: RegSet) -> RegSet {
+    if di.removable() {
+        let rd = di.def_reg().expect("removable implies a definition");
+        if !live.contains(rd) {
+            // Dead pure definition: contributes nothing.
+            return live;
+        }
+        live.remove(rd);
+    } else if let Some(rd) = di.def_reg() {
+        live.remove(rd);
+    }
+    for r in di.use_regs().into_iter().flatten() {
+        if !r.is_zero() {
+            live.insert(r);
+        }
+    }
+    live
+}
+
+/// Final layout: assigns distilled addresses and resolves symbolic targets.
+///
+/// Returns the instruction list plus the `original block start → distilled
+/// address` map. Fails if a resolved displacement overflows the 16-bit
+/// offset field.
+pub(crate) fn layout(
+    blocks: &[DBlock],
+    dist_base: u64,
+) -> Result<(Vec<Instr>, BTreeMap<u64, u64>), LayoutError> {
+    // Pass 1: addresses.
+    let mut addr_of: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut cursor = dist_base;
+    for b in blocks {
+        addr_of.insert(b.orig_start, cursor);
+        cursor += b.instrs.len() as u64 * INSTR_BYTES;
+    }
+    // Pass 2: emission.
+    let mut out = Vec::new();
+    let mut pc = dist_base;
+    for b in blocks {
+        for di in &b.instrs {
+            let instr = match di {
+                DInstr::Copy(i) => *i,
+                DInstr::Jump(t) => {
+                    let off = rel_offset(pc, addr_of[t]).ok_or(LayoutError {
+                        orig_block: b.orig_start,
+                    })?;
+                    Instr::Jal(mssp_isa::Reg::ZERO, off)
+                }
+                DInstr::Branch(i, t) => {
+                    let off = rel_offset(pc, addr_of[t]).ok_or(LayoutError {
+                        orig_block: b.orig_start,
+                    })?;
+                    i.with_offset(off).expect("branch carries an offset")
+                }
+            };
+            out.push(instr);
+            pc += INSTR_BYTES;
+        }
+    }
+    Ok((out, addr_of))
+}
+
+fn rel_offset(pc: u64, target: u64) -> Option<i16> {
+    let delta = target.wrapping_sub(pc.wrapping_add(INSTR_BYTES)) as i64;
+    i16::try_from(delta).ok()
+}
+
+/// A branch displacement overflowed during layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LayoutError {
+    pub orig_block: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_isa::Reg;
+
+    fn block(start: u64, instrs: Vec<DInstr>) -> DBlock {
+        DBlock {
+            orig_start: start,
+            instrs,
+        }
+    }
+
+    #[test]
+    fn dce_removes_overwritten_and_terminal_writes() {
+        let mut blocks = vec![block(
+            0x100,
+            vec![
+                DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 1)), // overwritten
+                DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 2)), // dead at halt
+                DInstr::Copy(Instr::Halt),
+            ],
+        )];
+        // Nothing is live at the distilled program's halt (the master's
+        // final state is never consumed), so both writes go.
+        assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 2);
+        assert_eq!(blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn dce_keeps_branch_inputs() {
+        let mut blocks = vec![
+            block(
+                0x100,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 1)),
+                    DInstr::Branch(Instr::Bne(Reg::A0, Reg::ZERO, 0), 0x100),
+                ],
+            ),
+            block(0x108, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 0);
+        assert_eq!(blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn dce_cascades_through_chains() {
+        // The store keeps a1's final value live; the a0-chain feeding the
+        // overwritten a1 is removed transitively.
+        let mut blocks = vec![block(
+            0x100,
+            vec![
+                DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 1)), // feeds dead a1
+                DInstr::Copy(Instr::Addi(Reg::A1, Reg::A0, 1)),   // overwritten
+                DInstr::Copy(Instr::Addi(Reg::A1, Reg::ZERO, 9)),
+                DInstr::Copy(Instr::Sd(Reg::A1, Reg::SP, 0)),
+                DInstr::Copy(Instr::Halt),
+            ],
+        )];
+        assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 2);
+        assert_eq!(blocks[0].instrs.len(), 3);
+    }
+
+    #[test]
+    fn dce_kills_self_sustaining_counters() {
+        // `addi a0, a0, 1` reads only itself; nothing effectful consumes
+        // a0, so the whole chain is faint and must go — even across a
+        // loop back edge.
+        let head = 0x100;
+        let mut blocks = vec![
+            block(
+                head,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A0, Reg::A0, 1)), // faint
+                    DInstr::Copy(Instr::Addi(Reg::A1, Reg::A1, -1)),
+                    DInstr::Branch(Instr::Bne(Reg::A1, Reg::ZERO, 0), head),
+                ],
+            ),
+            block(0x200, vec![DInstr::Copy(Instr::Sd(Reg::A1, Reg::SP, 0)), DInstr::Copy(Instr::Halt)]),
+        ];
+        assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 1);
+        assert_eq!(blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn dce_respects_loop_liveness() {
+        // a0 incremented in a loop and consumed by the loop branch.
+        let loop_head = 0x200;
+        let mut blocks = vec![
+            block(
+                loop_head,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A0, Reg::A0, -1)),
+                    DInstr::Branch(Instr::Bne(Reg::A0, Reg::ZERO, 0), loop_head),
+                ],
+            ),
+            block(0x300, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 0);
+    }
+
+    #[test]
+    fn layout_resolves_forward_and_backward() {
+        let blocks = vec![
+            block(
+                0x100,
+                vec![
+                    DInstr::Copy(Instr::nop()),
+                    DInstr::Branch(Instr::Beq(Reg::A0, Reg::ZERO, 0), 0x300),
+                ],
+            ),
+            block(0x200, vec![DInstr::Jump(0x100)]),
+            block(0x300, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        let (instrs, map) = layout(&blocks, 0x8000).unwrap();
+        assert_eq!(instrs.len(), 4);
+        assert_eq!(map[&0x100], 0x8000);
+        assert_eq!(map[&0x200], 0x8008);
+        assert_eq!(map[&0x300], 0x800C);
+        // The branch at 0x8004 targets 0x800C: offset 4.
+        assert_eq!(instrs[1], Instr::Beq(Reg::A0, Reg::ZERO, 4));
+        // The jump at 0x8008 targets 0x8000: offset -12.
+        assert_eq!(instrs[2], Instr::Jal(Reg::ZERO, -12));
+    }
+
+    #[test]
+    fn empty_block_maps_to_following_address() {
+        let blocks = vec![
+            block(0x100, vec![]),
+            block(0x104, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        let (instrs, map) = layout(&blocks, 0x8000).unwrap();
+        assert_eq!(instrs.len(), 1);
+        assert_eq!(map[&0x100], 0x8000);
+        assert_eq!(map[&0x104], 0x8000);
+    }
+}

@@ -1,0 +1,376 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Every instruction encodes to a single little-endian 32-bit word:
+//!
+//! ```text
+//!  31        26 25     21 20     16 15                    0
+//! +------------+---------+---------+-----------------------+
+//! |   opcode   |   f1    |   f2    |    imm16 / rs2 / sh   |
+//! +------------+---------+---------+-----------------------+
+//! ```
+//!
+//! * `f1`/`f2` hold 5-bit register numbers (`rd`/`rs1` for ALU and load
+//!   forms, `rs1`/`rs2` for branches, `src`/`base` for stores).
+//! * R-type instructions place `rs2` in the low 5 bits of the immediate
+//!   field; shifts place the 6-bit shift amount there.
+//!
+//! Decoding is total over the opcodes this module emits and rejects
+//! everything else with [`DecodeError`], which the machine surfaces as an
+//! illegal-instruction fault — the mechanism by which a slave that was
+//! mis-steered into non-code memory is detected.
+
+use std::fmt;
+
+use crate::{Instr, Reg};
+
+/// Error produced when a 32-bit word does not decode to a valid instruction.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::decode;
+/// assert!(decode(0xFFFF_FFFF).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode assignments. Gaps are left between groups for future extension.
+mod op {
+    pub const ADD: u32 = 0x01;
+    pub const SUB: u32 = 0x02;
+    pub const AND: u32 = 0x03;
+    pub const OR: u32 = 0x04;
+    pub const XOR: u32 = 0x05;
+    pub const SLL: u32 = 0x06;
+    pub const SRL: u32 = 0x07;
+    pub const SRA: u32 = 0x08;
+    pub const SLT: u32 = 0x09;
+    pub const SLTU: u32 = 0x0A;
+    pub const MUL: u32 = 0x0B;
+    pub const DIV: u32 = 0x0C;
+    pub const DIVU: u32 = 0x0D;
+    pub const REM: u32 = 0x0E;
+    pub const REMU: u32 = 0x0F;
+
+    pub const ADDI: u32 = 0x10;
+    pub const ANDI: u32 = 0x11;
+    pub const ORI: u32 = 0x12;
+    pub const XORI: u32 = 0x13;
+    pub const SLTI: u32 = 0x14;
+    pub const SLTIU: u32 = 0x15;
+    pub const SLLI: u32 = 0x16;
+    pub const SRLI: u32 = 0x17;
+    pub const SRAI: u32 = 0x18;
+    pub const LUI: u32 = 0x19;
+
+    pub const LB: u32 = 0x20;
+    pub const LBU: u32 = 0x21;
+    pub const LH: u32 = 0x22;
+    pub const LHU: u32 = 0x23;
+    pub const LW: u32 = 0x24;
+    pub const LWU: u32 = 0x25;
+    pub const LD: u32 = 0x26;
+    pub const SB: u32 = 0x28;
+    pub const SH: u32 = 0x29;
+    pub const SW: u32 = 0x2A;
+    pub const SD: u32 = 0x2B;
+
+    pub const BEQ: u32 = 0x30;
+    pub const BNE: u32 = 0x31;
+    pub const BLT: u32 = 0x32;
+    pub const BGE: u32 = 0x33;
+    pub const BLTU: u32 = 0x34;
+    pub const BGEU: u32 = 0x35;
+    pub const JAL: u32 = 0x36;
+    pub const JALR: u32 = 0x37;
+
+    pub const HALT: u32 = 0x3F;
+}
+
+fn pack(opcode: u32, f1: Reg, f2: Reg, imm: u16) -> u32 {
+    (opcode << 26) | ((f1.index() as u32) << 21) | ((f2.index() as u32) << 16) | imm as u32
+}
+
+/// Encodes an instruction to its 32-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::{encode, decode, Instr, Reg};
+/// let i = Instr::Addi(Reg::A0, Reg::A1, -3);
+/// assert_eq!(decode(encode(i)).unwrap(), i);
+/// ```
+#[must_use]
+pub fn encode(instr: Instr) -> u32 {
+    use Instr::*;
+    match instr {
+        Add(rd, a, b) => pack(op::ADD, rd, a, b.index() as u16),
+        Sub(rd, a, b) => pack(op::SUB, rd, a, b.index() as u16),
+        And(rd, a, b) => pack(op::AND, rd, a, b.index() as u16),
+        Or(rd, a, b) => pack(op::OR, rd, a, b.index() as u16),
+        Xor(rd, a, b) => pack(op::XOR, rd, a, b.index() as u16),
+        Sll(rd, a, b) => pack(op::SLL, rd, a, b.index() as u16),
+        Srl(rd, a, b) => pack(op::SRL, rd, a, b.index() as u16),
+        Sra(rd, a, b) => pack(op::SRA, rd, a, b.index() as u16),
+        Slt(rd, a, b) => pack(op::SLT, rd, a, b.index() as u16),
+        Sltu(rd, a, b) => pack(op::SLTU, rd, a, b.index() as u16),
+        Mul(rd, a, b) => pack(op::MUL, rd, a, b.index() as u16),
+        Div(rd, a, b) => pack(op::DIV, rd, a, b.index() as u16),
+        Divu(rd, a, b) => pack(op::DIVU, rd, a, b.index() as u16),
+        Rem(rd, a, b) => pack(op::REM, rd, a, b.index() as u16),
+        Remu(rd, a, b) => pack(op::REMU, rd, a, b.index() as u16),
+        Addi(rd, a, i) => pack(op::ADDI, rd, a, i as u16),
+        Andi(rd, a, i) => pack(op::ANDI, rd, a, i as u16),
+        Ori(rd, a, i) => pack(op::ORI, rd, a, i as u16),
+        Xori(rd, a, i) => pack(op::XORI, rd, a, i as u16),
+        Slti(rd, a, i) => pack(op::SLTI, rd, a, i as u16),
+        Sltiu(rd, a, i) => pack(op::SLTIU, rd, a, i as u16),
+        Slli(rd, a, s) => pack(op::SLLI, rd, a, s as u16),
+        Srli(rd, a, s) => pack(op::SRLI, rd, a, s as u16),
+        Srai(rd, a, s) => pack(op::SRAI, rd, a, s as u16),
+        Lui(rd, i) => pack(op::LUI, rd, Reg::ZERO, i as u16),
+        Lb(rd, b, o) => pack(op::LB, rd, b, o as u16),
+        Lbu(rd, b, o) => pack(op::LBU, rd, b, o as u16),
+        Lh(rd, b, o) => pack(op::LH, rd, b, o as u16),
+        Lhu(rd, b, o) => pack(op::LHU, rd, b, o as u16),
+        Lw(rd, b, o) => pack(op::LW, rd, b, o as u16),
+        Lwu(rd, b, o) => pack(op::LWU, rd, b, o as u16),
+        Ld(rd, b, o) => pack(op::LD, rd, b, o as u16),
+        Sb(s, b, o) => pack(op::SB, s, b, o as u16),
+        Sh(s, b, o) => pack(op::SH, s, b, o as u16),
+        Sw(s, b, o) => pack(op::SW, s, b, o as u16),
+        Sd(s, b, o) => pack(op::SD, s, b, o as u16),
+        Beq(a, b, o) => pack(op::BEQ, a, b, o as u16),
+        Bne(a, b, o) => pack(op::BNE, a, b, o as u16),
+        Blt(a, b, o) => pack(op::BLT, a, b, o as u16),
+        Bge(a, b, o) => pack(op::BGE, a, b, o as u16),
+        Bltu(a, b, o) => pack(op::BLTU, a, b, o as u16),
+        Bgeu(a, b, o) => pack(op::BGEU, a, b, o as u16),
+        Jal(rd, o) => pack(op::JAL, rd, Reg::ZERO, o as u16),
+        Jalr(rd, b, o) => pack(op::JALR, rd, b, o as u16),
+        Halt => pack(op::HALT, Reg::ZERO, Reg::ZERO, 0),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode is not assigned, if an R-type word
+/// has a register field outside `0..32`, if a shift amount exceeds 63, or if
+/// reserved fields are non-zero.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::{encode, decode, Instr};
+/// assert_eq!(decode(encode(Instr::Halt)).unwrap(), Instr::Halt);
+/// assert!(decode(0).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let err = DecodeError { word };
+    let opcode = word >> 26;
+    let f1 = Reg::try_new(((word >> 21) & 0x1F) as u8).ok_or(err)?;
+    let f2 = Reg::try_new(((word >> 16) & 0x1F) as u8).ok_or(err)?;
+    let imm = (word & 0xFFFF) as u16;
+    let simm = imm as i16;
+
+    let rs2 = || -> Result<Reg, DecodeError> {
+        if imm >= 32 {
+            Err(err)
+        } else {
+            Ok(Reg::new(imm as u8))
+        }
+    };
+    let shamt = || -> Result<u8, DecodeError> {
+        if imm >= 64 {
+            Err(err)
+        } else {
+            Ok(imm as u8)
+        }
+    };
+
+    Ok(match opcode {
+        op::ADD => Add(f1, f2, rs2()?),
+        op::SUB => Sub(f1, f2, rs2()?),
+        op::AND => And(f1, f2, rs2()?),
+        op::OR => Or(f1, f2, rs2()?),
+        op::XOR => Xor(f1, f2, rs2()?),
+        op::SLL => Sll(f1, f2, rs2()?),
+        op::SRL => Srl(f1, f2, rs2()?),
+        op::SRA => Sra(f1, f2, rs2()?),
+        op::SLT => Slt(f1, f2, rs2()?),
+        op::SLTU => Sltu(f1, f2, rs2()?),
+        op::MUL => Mul(f1, f2, rs2()?),
+        op::DIV => Div(f1, f2, rs2()?),
+        op::DIVU => Divu(f1, f2, rs2()?),
+        op::REM => Rem(f1, f2, rs2()?),
+        op::REMU => Remu(f1, f2, rs2()?),
+        op::ADDI => Addi(f1, f2, simm),
+        op::ANDI => Andi(f1, f2, simm),
+        op::ORI => Ori(f1, f2, simm),
+        op::XORI => Xori(f1, f2, simm),
+        op::SLTI => Slti(f1, f2, simm),
+        op::SLTIU => Sltiu(f1, f2, simm),
+        op::SLLI => Slli(f1, f2, shamt()?),
+        op::SRLI => Srli(f1, f2, shamt()?),
+        op::SRAI => Srai(f1, f2, shamt()?),
+        op::LUI => {
+            if !f2.is_zero() {
+                return Err(err);
+            }
+            Lui(f1, simm)
+        }
+        op::LB => Lb(f1, f2, simm),
+        op::LBU => Lbu(f1, f2, simm),
+        op::LH => Lh(f1, f2, simm),
+        op::LHU => Lhu(f1, f2, simm),
+        op::LW => Lw(f1, f2, simm),
+        op::LWU => Lwu(f1, f2, simm),
+        op::LD => Ld(f1, f2, simm),
+        op::SB => Sb(f1, f2, simm),
+        op::SH => Sh(f1, f2, simm),
+        op::SW => Sw(f1, f2, simm),
+        op::SD => Sd(f1, f2, simm),
+        op::BEQ => Beq(f1, f2, simm),
+        op::BNE => Bne(f1, f2, simm),
+        op::BLT => Blt(f1, f2, simm),
+        op::BGE => Bge(f1, f2, simm),
+        op::BLTU => Bltu(f1, f2, simm),
+        op::BGEU => Bgeu(f1, f2, simm),
+        op::JAL => {
+            if !f2.is_zero() {
+                return Err(err);
+            }
+            Jal(f1, simm)
+        }
+        op::JALR => Jalr(f1, f2, simm),
+        op::HALT => {
+            if !f1.is_zero() || !f2.is_zero() || imm != 0 {
+                return Err(err);
+            }
+            Halt
+        }
+        _ => return Err(err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        let a = Reg::A0;
+        let b = Reg::A1;
+        let c = Reg::T0;
+        vec![
+            Add(a, b, c),
+            Sub(a, b, c),
+            And(a, b, c),
+            Or(a, b, c),
+            Xor(a, b, c),
+            Sll(a, b, c),
+            Srl(a, b, c),
+            Sra(a, b, c),
+            Slt(a, b, c),
+            Sltu(a, b, c),
+            Mul(a, b, c),
+            Div(a, b, c),
+            Divu(a, b, c),
+            Rem(a, b, c),
+            Remu(a, b, c),
+            Addi(a, b, -42),
+            Andi(a, b, 0x7F),
+            Ori(a, b, 1),
+            Xori(a, b, -1),
+            Slti(a, b, 9),
+            Sltiu(a, b, 9),
+            Slli(a, b, 63),
+            Srli(a, b, 1),
+            Srai(a, b, 32),
+            Lui(a, -300),
+            Lb(a, b, -8),
+            Lbu(a, b, 8),
+            Lh(a, b, 2),
+            Lhu(a, b, 2),
+            Lw(a, b, 4),
+            Lwu(a, b, 4),
+            Ld(a, b, 8),
+            Sb(a, b, -1),
+            Sh(a, b, 0),
+            Sw(a, b, 4),
+            Sd(a, b, 8),
+            Beq(a, b, 16),
+            Bne(a, b, -16),
+            Blt(a, b, 4),
+            Bge(a, b, 4),
+            Bltu(a, b, 4),
+            Bgeu(a, b, 4),
+            Jal(Reg::RA, 100),
+            Jalr(Reg::RA, c, 0),
+            Halt,
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_forms() {
+        for i in sample_instrs() {
+            let enc = encode(i);
+            assert_eq!(decode(enc), Ok(i), "round trip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let instrs = sample_instrs();
+        for (x, ix) in instrs.iter().enumerate() {
+            for (y, iy) in instrs.iter().enumerate() {
+                if x != y {
+                    assert_ne!(encode(*ix), encode(*iy), "{ix} and {iy} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_opcodes_rejected() {
+        // Opcode 0 is unassigned.
+        assert!(decode(0).is_err());
+        // Opcode 0x3E is unassigned.
+        assert!(decode(0x3E << 26).is_err());
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        // R-type with rs2 = 33.
+        let w = (0x01 << 26) | 33;
+        assert!(decode(w).is_err());
+        // Shift with shamt = 64.
+        let w = (0x16 << 26) | 64;
+        assert!(decode(w).is_err());
+        // HALT with junk in the immediate.
+        let w = (0x3F << 26) | 7;
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Instr::Addi(Reg::A0, Reg::A0, i16::MIN);
+        assert_eq!(decode(encode(i)).unwrap(), i);
+        let i = Instr::Beq(Reg::A0, Reg::A1, -4);
+        assert_eq!(decode(encode(i)).unwrap(), i);
+    }
+}

@@ -1,0 +1,129 @@
+//! Assembler edge-case tests: directive abuse, operand forms, error
+//! recovery, and the binary encode/decode loader path.
+
+use mssp_isa::asm::{assemble, assemble_at};
+use mssp_isa::{Instr, Program, Reg};
+
+#[test]
+fn custom_bases_are_respected() {
+    let p = assemble_at("main: halt", 0x4000, 0x9000).unwrap();
+    assert_eq!(p.text_base(), 0x4000);
+    assert_eq!(p.data_base(), 0x9000);
+    assert_eq!(p.entry(), 0x4000);
+}
+
+#[test]
+fn multiple_labels_on_one_address() {
+    let p = assemble("a: b: c: halt").unwrap();
+    let addr = p.entry();
+    assert_eq!(p.symbol("a"), Some(addr));
+    assert_eq!(p.symbol("b"), Some(addr));
+    assert_eq!(p.symbol("c"), Some(addr));
+}
+
+#[test]
+fn label_and_instruction_on_same_line() {
+    let p = assemble("main: addi a0, zero, 1\nend: halt").unwrap();
+    assert_eq!(p.len(), 2);
+    assert_eq!(p.symbol("end"), Some(p.entry() + 4));
+}
+
+#[test]
+fn data_in_text_is_rejected() {
+    let errs = assemble("main: .word 5\n halt").unwrap_err();
+    assert!(errs[0].msg.contains("only allowed in .data"));
+}
+
+#[test]
+fn instructions_in_data_are_rejected() {
+    let errs = assemble(".data\n addi a0, zero, 1\n.text\nmain: halt").unwrap_err();
+    assert!(errs[0].msg.contains("only allowed in .text"));
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    let p = assemble(".data\ns: .asciz \"a\\tb\\n\\\"q\\\"\\0z\"\n.text\nmain: halt").unwrap();
+    assert_eq!(p.data(), b"a\tb\n\"q\"\0z\0");
+}
+
+#[test]
+fn hex_binary_and_underscore_literals() {
+    let p = assemble(
+        "main: addi a0, zero, 0x7F\n addi a1, zero, 0b1010\n addi a2, zero, 1_000\n halt",
+    )
+    .unwrap();
+    assert_eq!(p.text()[0], Instr::Addi(Reg::A0, Reg::ZERO, 0x7F));
+    assert_eq!(p.text()[1], Instr::Addi(Reg::A1, Reg::ZERO, 10));
+    assert_eq!(p.text()[2], Instr::Addi(Reg::A2, Reg::ZERO, 1000));
+}
+
+#[test]
+fn bad_align_is_reported() {
+    let errs = assemble(".data\n.align 3\n.text\nmain: halt").unwrap_err();
+    assert!(errs[0].msg.contains("power of two"));
+}
+
+#[test]
+fn memory_operand_without_offset() {
+    let p = assemble("main: ld a0, (sp)\n halt").unwrap();
+    assert_eq!(p.text()[0], Instr::Ld(Reg::A0, Reg::SP, 0));
+}
+
+#[test]
+fn equ_used_in_offsets_and_la_targets() {
+    let p = assemble(
+        ".equ OFF, 24
+         .data
+         buf: .space 64
+         .text
+         main: la a0, buf
+               ld a1, OFF(a0)
+               halt",
+    )
+    .unwrap();
+    assert_eq!(p.text()[2], Instr::Ld(Reg::A1, Reg::A0, 24));
+}
+
+#[test]
+fn errors_report_correct_lines() {
+    let errs = assemble("main: nop\n nop\n bogus\n halt").unwrap_err();
+    assert_eq!(errs[0].line, 3);
+}
+
+#[test]
+fn shift_amount_bounds() {
+    assert!(assemble("main: slli a0, a0, 63\n halt").is_ok());
+    assert!(assemble("main: slli a0, a0, 64\n halt").is_err());
+}
+
+#[test]
+fn encode_decode_loader_round_trips_workload_text() {
+    // The binary loader path must reproduce an assembled program exactly.
+    let p = assemble(
+        "main: addi s0, zero, 9
+         loop: mul  s1, s1, s0
+               sb   s1, -1(sp)
+               addi s0, s0, -1
+               bnez s0, loop
+               halt",
+    )
+    .unwrap();
+    let reloaded = Program::from_encoded(&p.encode_text()).unwrap();
+    assert_eq!(reloaded.text(), p.text());
+}
+
+#[test]
+fn jal_with_explicit_register() {
+    let p = assemble("main: jal t0, target\ntarget: halt").unwrap();
+    assert_eq!(p.text()[0], Instr::Jal(Reg::T0, 0));
+}
+
+#[test]
+fn uimm_logical_range() {
+    // Logical immediates accept the full unsigned 16-bit range.
+    assert!(assemble("main: ori a0, zero, 0xFFFF\n halt").is_ok());
+    assert!(assemble("main: ori a0, zero, 0x10000\n halt").is_err());
+    // Arithmetic immediates are signed.
+    assert!(assemble("main: addi a0, zero, 0x8000\n halt").is_err());
+    assert!(assemble("main: addi a0, zero, -0x8000\n halt").is_ok());
+}

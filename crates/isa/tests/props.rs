@@ -1,0 +1,88 @@
+//! Property-based tests for the ISA: encode/decode round-trips over
+//! arbitrary instructions and assembler/disassembler agreement.
+
+use mssp_isa::{decode, encode, Instr, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_shamt() -> impl Strategy<Value = u8> {
+    0u8..64
+}
+
+prop_compose! {
+    fn rrr(ctor: fn(Reg, Reg, Reg) -> Instr)
+        (a in arb_reg(), b in arb_reg(), c in arb_reg()) -> Instr {
+        ctor(a, b, c)
+    }
+}
+
+prop_compose! {
+    fn rri(ctor: fn(Reg, Reg, i16) -> Instr)
+        (a in arb_reg(), b in arb_reg(), i in any::<i16>()) -> Instr {
+        ctor(a, b, i)
+    }
+}
+
+prop_compose! {
+    fn shift(ctor: fn(Reg, Reg, u8) -> Instr)
+        (a in arb_reg(), b in arb_reg(), s in arb_shamt()) -> Instr {
+        ctor(a, b, s)
+    }
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        rrr(Instr::Add), rrr(Instr::Sub), rrr(Instr::And), rrr(Instr::Or),
+        rrr(Instr::Xor), rrr(Instr::Sll), rrr(Instr::Srl), rrr(Instr::Sra),
+        rrr(Instr::Slt), rrr(Instr::Sltu), rrr(Instr::Mul), rrr(Instr::Div),
+        rrr(Instr::Divu), rrr(Instr::Rem), rrr(Instr::Remu),
+        rri(Instr::Addi), rri(Instr::Andi), rri(Instr::Ori), rri(Instr::Xori),
+        rri(Instr::Slti), rri(Instr::Sltiu),
+        shift(Instr::Slli), shift(Instr::Srli), shift(Instr::Srai),
+        (arb_reg(), any::<i16>()).prop_map(|(r, i)| Instr::Lui(r, i)),
+        rri(Instr::Lb), rri(Instr::Lbu), rri(Instr::Lh), rri(Instr::Lhu),
+        rri(Instr::Lw), rri(Instr::Lwu), rri(Instr::Ld),
+        rri(Instr::Sb), rri(Instr::Sh), rri(Instr::Sw), rri(Instr::Sd),
+        rri(Instr::Beq), rri(Instr::Bne), rri(Instr::Blt), rri(Instr::Bge),
+        rri(Instr::Bltu), rri(Instr::Bgeu),
+        (arb_reg(), any::<i16>()).prop_map(|(r, i)| Instr::Jal(r, i)),
+        rri(Instr::Jalr),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(instr in arb_instr()) {
+        let word = encode(instr);
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            // Canonical form: decoding an encodable word and re-encoding
+            // gives back the same bits.
+            prop_assert_eq!(encode(instr), word);
+        }
+    }
+
+    #[test]
+    fn li_sequence_is_bounded(v in any::<i64>()) {
+        let seq = mssp_isa::asm::li_sequence(Reg::A0, v);
+        prop_assert!(!seq.is_empty());
+        prop_assert!(seq.len() <= 8);
+        // The sequence only ever writes the destination register.
+        for i in &seq {
+            prop_assert_eq!(i.def_reg(), Some(Reg::A0));
+        }
+    }
+}

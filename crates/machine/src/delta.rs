@@ -1,0 +1,504 @@
+//! Partial machine states and the formal operators of the MSSP model.
+//!
+//! A [`Delta`] is a finite partial map from [`Cell`]s to values — the
+//! paper's notion of a machine state "holding members for only a subset of
+//! all ISA-visible cells". Live-in sets, live-out sets, master checkpoints
+//! and cumulative-write sets (`Δ(S, n)`) are all `Delta`s.
+//!
+//! Memory cells are tracked at **byte granularity** via per-cell masks:
+//! a task that stores one byte of a word records (and is verified
+//! against) only that byte. Coarser, whole-word tracking would create
+//! false dependencies between adjacent tasks writing neighbouring bytes —
+//! the classic false-sharing problem, which the paper's verify/commit
+//! hardware likewise avoided by checking at fine granularity. Register
+//! and PC cells always carry a full mask.
+//!
+//! Two operators come straight from the formal model:
+//!
+//! * **Superimposition** `S₀ ← S₁` ([`Delta::superimpose`] /
+//!   [`crate::MachineState::apply`]): overwrite `S₀` with every binding of
+//!   `S₁` (byte-wise). The commit step of MSSP is exactly a
+//!   superimposition of a task's live-outs onto architected state.
+//! * **Consistency** `S₁ ⊑ S₂` ([`Delta::consistent_with`]): every bound
+//!   byte of `S₁` is present in `S₂` with the same value. Task
+//!   verification is a consistency check of recorded live-ins against
+//!   architected state.
+//!
+//! The algebraic laws of Definition 8 (associativity, containment,
+//! idempotency) are verified by unit and property tests in this crate and
+//! re-checked end-to-end by the `t10_formal` experiment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cell, MachineState};
+
+/// A partially-defined 64-bit value: `mask` bit *i* set means byte *i*
+/// (little-endian) of `value` is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaskedVal {
+    /// The value; bytes outside `mask` are zero.
+    pub value: u64,
+    /// Byte-validity mask.
+    pub mask: u8,
+}
+
+/// Expands a byte mask to a per-bit mask (`0b101` → `0x00FF_00FF`-style).
+#[must_use]
+pub fn expand_mask(mask: u8) -> u64 {
+    let mut out = 0u64;
+    for i in 0..8 {
+        if mask & (1 << i) != 0 {
+            out |= 0xFFu64 << (i * 8);
+        }
+    }
+    out
+}
+
+impl MaskedVal {
+    /// A fully-defined value.
+    #[must_use]
+    pub fn full(value: u64) -> MaskedVal {
+        MaskedVal { value, mask: 0xFF }
+    }
+
+    /// A partially-defined value (bytes outside the mask are cleared).
+    #[must_use]
+    pub fn partial(value: u64, mask: u8) -> MaskedVal {
+        MaskedVal {
+            value: value & expand_mask(mask),
+            mask,
+        }
+    }
+
+    /// Whether every byte is defined.
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self.mask == 0xFF
+    }
+
+    /// Overwrites `self` with the defined bytes of `newer`.
+    #[must_use]
+    pub fn overwrite_with(self, newer: MaskedVal) -> MaskedVal {
+        let nm = expand_mask(newer.mask);
+        MaskedVal {
+            value: (self.value & !nm) | (newer.value & nm),
+            mask: self.mask | newer.mask,
+        }
+    }
+
+    /// Fills *undefined* bytes of `self` from `older` (first-writer-wins
+    /// merge used when recording live-ins).
+    #[must_use]
+    pub fn backfill_with(self, older: MaskedVal) -> MaskedVal {
+        older.overwrite_with(self)
+    }
+}
+
+/// A partial machine state: a finite map from cells to (byte-masked)
+/// values.
+///
+/// Iteration order is deterministic (cells are ordered), which keeps every
+/// downstream consumer — hashing, verification, serialization — stable
+/// across runs.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_machine::{Cell, Delta};
+/// use mssp_isa::Reg;
+///
+/// let mut a = Delta::new();
+/// a.set(Cell::Reg(Reg::A0), 1);
+/// let mut b = Delta::new();
+/// b.set(Cell::Reg(Reg::A0), 2);
+/// b.set(Cell::Reg(Reg::A1), 3);
+///
+/// let c = a.superimpose(&b); // b wins on conflicts
+/// assert_eq!(c.get(Cell::Reg(Reg::A0)), Some(2));
+/// assert_eq!(c.get(Cell::Reg(Reg::A1)), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delta {
+    cells: BTreeMap<Cell, MaskedVal>,
+}
+
+impl Delta {
+    /// Creates an empty partial state (`∅`).
+    #[must_use]
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Binds `cell` fully to `value`, returning the previous fully-bound
+    /// value if there was one.
+    pub fn set(&mut self, cell: Cell, value: u64) -> Option<u64> {
+        self.cells
+            .insert(cell, MaskedVal::full(value))
+            .and_then(|m| m.is_full().then_some(m.value))
+    }
+
+    /// Overwrites the masked bytes of `cell` (newest-wins merge with any
+    /// existing binding).
+    pub fn set_bytes(&mut self, cell: Cell, value: u64, mask: u8) {
+        if mask == 0 {
+            return;
+        }
+        let new = MaskedVal::partial(value, mask);
+        let merged = match self.cells.get(&cell) {
+            Some(&old) => old.overwrite_with(new),
+            None => new,
+        };
+        self.cells.insert(cell, merged);
+    }
+
+    /// Records the masked bytes of `cell` *only where not already bound*
+    /// (first-observation-wins; used for live-in recording so re-reads
+    /// stay repeatable).
+    pub fn record_bytes(&mut self, cell: Cell, value: u64, mask: u8) {
+        if mask == 0 {
+            return;
+        }
+        let new = MaskedVal::partial(value, mask);
+        let merged = match self.cells.get(&cell) {
+            Some(&old) => old.backfill_with(new),
+            None => new,
+        };
+        self.cells.insert(cell, merged);
+    }
+
+    /// The fully-bound value of `cell` (`None` if absent or partial).
+    #[must_use]
+    pub fn get(&self, cell: Cell) -> Option<u64> {
+        self.cells
+            .get(&cell)
+            .and_then(|m| m.is_full().then_some(m.value))
+    }
+
+    /// The masked binding of `cell`, if any.
+    #[must_use]
+    pub fn get_masked(&self, cell: Cell) -> Option<MaskedVal> {
+        self.cells.get(&cell).copied()
+    }
+
+    /// Whether `cell` has any bound byte.
+    #[must_use]
+    pub fn contains(&self, cell: Cell) -> bool {
+        self.cells.contains_key(&cell)
+    }
+
+    /// Removes a binding, returning it if present.
+    pub fn remove(&mut self, cell: Cell) -> Option<u64> {
+        self.cells.remove(&cell).map(|m| m.value)
+    }
+
+    /// Number of bound cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over fully- and partially-bound cells as
+    /// `(cell, masked value)` in cell order.
+    pub fn iter_masked(&self) -> impl Iterator<Item = (Cell, MaskedVal)> + '_ {
+        self.cells.iter().map(|(&c, &m)| (c, m))
+    }
+
+    /// Iterates over `(cell, value)` bindings in cell order. Partial
+    /// bindings yield their value with unbound bytes as zero.
+    pub fn iter(&self) -> impl Iterator<Item = (Cell, u64)> + '_ {
+        self.cells.iter().map(|(&c, &m)| (c, m.value))
+    }
+
+    /// Number of bound *memory* cells (useful for bandwidth accounting).
+    #[must_use]
+    pub fn mem_cells(&self) -> usize {
+        self.cells.keys().filter(|c| c.is_mem()).count()
+    }
+
+    /// Number of bound *register* cells.
+    #[must_use]
+    pub fn reg_cells(&self) -> usize {
+        self.cells.keys().filter(|c| c.is_reg()).count()
+    }
+
+    /// Superimposition `self ← other`: a new delta containing every binding
+    /// of `self` overwritten (byte-wise) by every binding of `other`.
+    ///
+    /// # Examples
+    ///
+    /// See the [type-level example](Delta).
+    #[must_use]
+    pub fn superimpose(&self, other: &Delta) -> Delta {
+        let mut out = self.clone();
+        out.superimpose_in_place(other);
+        out
+    }
+
+    /// In-place superimposition `self ← other`.
+    pub fn superimpose_in_place(&mut self, other: &Delta) {
+        for (c, m) in other.iter_masked() {
+            self.set_bytes(c, m.value, m.mask);
+        }
+    }
+
+    /// Consistency `self ⊑ other` between partial states: every bound byte
+    /// of `self` is bound identically in `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mssp_machine::{Cell, Delta};
+    /// let mut small = Delta::new();
+    /// small.set(Cell::Mem(1), 5);
+    /// let mut big = small.clone();
+    /// big.set(Cell::Mem(2), 6);
+    /// assert!(small.consistent_with(&big));
+    /// assert!(!big.consistent_with(&small));
+    /// ```
+    #[must_use]
+    pub fn consistent_with(&self, other: &Delta) -> bool {
+        self.iter_masked().all(|(c, m)| match other.get_masked(c) {
+            Some(o) => {
+                (o.mask & m.mask) == m.mask
+                    && (o.value & expand_mask(m.mask)) == m.value
+            }
+            None => false,
+        })
+    }
+
+    /// Consistency `self ⊑ S` against a *full* machine state: every bound
+    /// byte of `self` equals the corresponding byte `S` holds.
+    ///
+    /// Because a full state is total (unwritten memory reads as zero),
+    /// every cell is considered present in it. This is exactly the check
+    /// the verify unit performs on a task's recorded live-ins.
+    #[must_use]
+    pub fn consistent_with_state(&self, state: &MachineState) -> bool {
+        self.iter_masked()
+            .all(|(c, m)| state.read_cell(c) & expand_mask(m.mask) == m.value)
+    }
+
+    /// The cells whose bound bytes disagree with `state` — the diagnostic
+    /// counterpart of [`Delta::consistent_with_state`]. Reports
+    /// `(cell, bound value, architected value)` with both masked to the
+    /// bound bytes.
+    #[must_use]
+    pub fn mismatches_against(&self, state: &MachineState) -> Vec<(Cell, u64, u64)> {
+        self.iter_masked()
+            .filter_map(|(c, m)| {
+                let actual = state.read_cell(c) & expand_mask(m.mask);
+                if actual == m.value {
+                    None
+                } else {
+                    Some((c, m.value, actual))
+                }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(Cell, u64)> for Delta {
+    fn from_iter<I: IntoIterator<Item = (Cell, u64)>>(iter: I) -> Delta {
+        Delta {
+            cells: iter
+                .into_iter()
+                .map(|(c, v)| (c, MaskedVal::full(v)))
+                .collect(),
+        }
+    }
+}
+
+impl Extend<(Cell, u64)> for Delta {
+    fn extend<I: IntoIterator<Item = (Cell, u64)>>(&mut self, iter: I) {
+        self.cells
+            .extend(iter.into_iter().map(|(c, v)| (c, MaskedVal::full(v))));
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (c, m)) in self.iter_masked().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if m.is_full() {
+                write!(f, "{c}={:#x}", m.value)?;
+            } else {
+                write!(f, "{c}={:#x}/{:#04x}", m.value, m.mask)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_isa::Reg;
+
+    fn d(pairs: &[(Cell, u64)]) -> Delta {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn superimpose_right_bias() {
+        let a = d(&[(Cell::Mem(0), 1), (Cell::Mem(1), 2)]);
+        let b = d(&[(Cell::Mem(1), 9), (Cell::Mem(2), 3)]);
+        let c = a.superimpose(&b);
+        assert_eq!(c.get(Cell::Mem(0)), Some(1));
+        assert_eq!(c.get(Cell::Mem(1)), Some(9));
+        assert_eq!(c.get(Cell::Mem(2)), Some(3));
+    }
+
+    #[test]
+    fn superimpose_associativity() {
+        // Definition 8, property 1.
+        let s1 = d(&[(Cell::Mem(0), 1), (Cell::Reg(Reg::A0), 2)]);
+        let s2 = d(&[(Cell::Mem(0), 3), (Cell::Mem(1), 4)]);
+        let s3 = d(&[(Cell::Mem(1), 5), (Cell::Pc, 6)]);
+        assert_eq!(
+            s1.superimpose(&s2).superimpose(&s3),
+            s1.superimpose(&s2.superimpose(&s3))
+        );
+    }
+
+    #[test]
+    fn consistency_containment() {
+        // Definition 8, property 2: S1 ⊑ S2 implies (S1 ← S3) ⊑ (S2 ← S3).
+        let s1 = d(&[(Cell::Mem(0), 1)]);
+        let s2 = d(&[(Cell::Mem(0), 1), (Cell::Mem(1), 2)]);
+        let s3 = d(&[(Cell::Mem(0), 7), (Cell::Mem(9), 8)]);
+        assert!(s1.consistent_with(&s2));
+        assert!(s1.superimpose(&s3).consistent_with(&s2.superimpose(&s3)));
+    }
+
+    #[test]
+    fn superimpose_idempotency() {
+        // Definition 8, property 3: S2 ⊑ S1 implies S1 ← S2 = S1.
+        let s1 = d(&[(Cell::Mem(0), 1), (Cell::Mem(1), 2), (Cell::Pc, 3)]);
+        let s2 = d(&[(Cell::Mem(1), 2), (Cell::Pc, 3)]);
+        assert!(s2.consistent_with(&s1));
+        assert_eq!(s1.superimpose(&s2), s1);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let s = d(&[(Cell::Mem(4), 4)]);
+        assert_eq!(s.superimpose(&Delta::new()), s);
+        assert_eq!(Delta::new().superimpose(&s), s);
+        assert!(Delta::new().consistent_with(&s));
+    }
+
+    #[test]
+    fn consistency_against_full_state_treats_memory_as_total() {
+        let state = MachineState::new();
+        // Unwritten memory reads as zero, so a zero binding is consistent...
+        assert!(d(&[(Cell::Mem(1000), 0)]).consistent_with_state(&state));
+        // ...and a nonzero one is not.
+        assert!(!d(&[(Cell::Mem(1000), 1)]).consistent_with_state(&state));
+    }
+
+    #[test]
+    fn mismatches_reports_cell_and_both_values() {
+        let mut state = MachineState::new();
+        state.set_reg(Reg::A0, 5);
+        let probe = d(&[(Cell::Reg(Reg::A0), 6), (Cell::Reg(Reg::A1), 0)]);
+        let mm = probe.mismatches_against(&state);
+        assert_eq!(mm, vec![(Cell::Reg(Reg::A0), 6, 5)]);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = d(&[
+            (Cell::Mem(0), 1),
+            (Cell::Mem(1), 2),
+            (Cell::Reg(Reg::A0), 3),
+            (Cell::Pc, 4),
+        ]);
+        assert_eq!(s.mem_cells(), 2);
+        assert_eq!(s.reg_cells(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    // ---- byte-masked behaviour -----------------------------------------
+
+    #[test]
+    fn masked_writes_merge_newest_wins() {
+        let mut delta = Delta::new();
+        delta.set_bytes(Cell::Mem(0), 0x1111_1111_1111_1111, 0x0F);
+        delta.set_bytes(Cell::Mem(0), 0x22_0000, 0x04); // overwrite byte 2
+        let m = delta.get_masked(Cell::Mem(0)).unwrap();
+        assert_eq!(m.mask, 0x0F);
+        assert_eq!(m.value, 0x1122_1111); // byte 2 replaced, others kept
+    }
+
+    #[test]
+    fn record_bytes_is_first_observation_wins() {
+        let mut delta = Delta::new();
+        delta.record_bytes(Cell::Mem(0), 0xAA, 0x01);
+        delta.record_bytes(Cell::Mem(0), 0xBB, 0x01); // ignored: already bound
+        delta.record_bytes(Cell::Mem(0), 0xCC00, 0x02); // new byte: recorded
+        let m = delta.get_masked(Cell::Mem(0)).unwrap();
+        assert_eq!(m.mask, 0x03);
+        assert_eq!(m.value, 0xCCAA);
+    }
+
+    #[test]
+    fn partial_binding_is_not_a_full_get() {
+        let mut delta = Delta::new();
+        delta.set_bytes(Cell::Mem(0), 0xFF, 0x01);
+        assert_eq!(delta.get(Cell::Mem(0)), None);
+        assert!(delta.contains(Cell::Mem(0)));
+        delta.set_bytes(Cell::Mem(0), u64::MAX, 0xFE);
+        assert!(delta.get(Cell::Mem(0)).is_some());
+    }
+
+    #[test]
+    fn masked_consistency_ignores_unbound_bytes() {
+        let mut state = MachineState::new();
+        state.store_word(0, 0xDEAD_BEEF_0000_0011);
+        let mut probe = Delta::new();
+        probe.set_bytes(Cell::Mem(0), 0x11, 0x01); // matches byte 0 only
+        assert!(probe.consistent_with_state(&state));
+        probe.set_bytes(Cell::Mem(0), 0x9900, 0x02); // byte 1 differs (0x00)
+        assert!(!probe.consistent_with_state(&state));
+    }
+
+    #[test]
+    fn masked_superimpose_onto_state_via_apply() {
+        let mut state = MachineState::new();
+        state.store_word(3, 0x8877_6655_4433_2211);
+        let mut delta = Delta::new();
+        delta.set_bytes(Cell::Mem(3), 0xAA00, 0x02); // replace byte 1
+        state.apply(&delta);
+        assert_eq!(state.load_word(3), 0x8877_6655_4433_AA11);
+    }
+
+    #[test]
+    fn expand_mask_examples() {
+        assert_eq!(expand_mask(0x00), 0);
+        assert_eq!(expand_mask(0x01), 0xFF);
+        assert_eq!(expand_mask(0x80), 0xFF00_0000_0000_0000);
+        assert_eq!(expand_mask(0xFF), u64::MAX);
+    }
+
+    #[test]
+    fn masked_consistency_between_deltas() {
+        let mut small = Delta::new();
+        small.set_bytes(Cell::Mem(0), 0x34, 0x01);
+        let mut big = Delta::new();
+        big.set_bytes(Cell::Mem(0), 0x1234, 0x03);
+        assert!(small.consistent_with(&big));
+        assert!(!big.consistent_with(&small)); // byte 1 unbound in small
+    }
+}

@@ -1,0 +1,159 @@
+//! Sparse word-addressed memory.
+//!
+//! Memory is stored as 4 KiB pages (512 × 64-bit words) allocated on first
+//! write. Unwritten memory reads as zero, which keeps the sequential
+//! reference machine total and deterministic even when a mis-steered MSSP
+//! slave wanders into unmapped addresses.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Words per page (4 KiB pages).
+const PAGE_WORDS: u64 = 512;
+
+/// Sparse 64-bit-word-addressed memory with zero-fill semantics.
+///
+/// Addresses used with this type are *word indices* (byte address / 8); the
+/// byte-granular view lives in [`crate::Storage`]'s helper methods.
+///
+/// Pages are reference-counted and copied on write, so cloning a
+/// `SparseMem` (the MSSP master snapshots architected state at every
+/// restart) costs one refcount bump per resident page.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_machine::SparseMem;
+///
+/// let mut m = SparseMem::new();
+/// assert_eq!(m.load(123), 0);
+/// m.store(123, 0xABCD);
+/// assert_eq!(m.load(123), 0xABCD);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseMem {
+    pages: HashMap<u64, Arc<Vec<u64>>>,
+}
+
+impl SparseMem {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Loads the word at word index `widx` (zero if never written).
+    #[must_use]
+    pub fn load(&self, widx: u64) -> u64 {
+        match self.pages.get(&(widx / PAGE_WORDS)) {
+            Some(page) => page[(widx % PAGE_WORDS) as usize],
+            None => 0,
+        }
+    }
+
+    /// Stores `value` at word index `widx`.
+    pub fn store(&mut self, widx: u64, value: u64) {
+        let page = self
+            .pages
+            .entry(widx / PAGE_WORDS)
+            .or_insert_with(|| Arc::new(vec![0; PAGE_WORDS as usize]));
+        Arc::make_mut(page)[(widx % PAGE_WORDS) as usize] = value;
+    }
+
+    /// Copies a byte image into memory starting at byte address `base`.
+    ///
+    /// Used to load a program's data segment. Bytes are placed
+    /// little-endian within each word, matching the ISA's byte order.
+    pub fn write_image(&mut self, base: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let addr = base + i as u64;
+            let widx = addr >> 3;
+            let shift = (addr & 7) * 8;
+            let old = self.load(widx);
+            let cleared = old & !(0xFFu64 << shift);
+            self.store(widx, cleared | ((b as u64) << shift));
+        }
+    }
+
+    /// Reads one byte at byte address `addr`.
+    #[must_use]
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        let word = self.load(addr >> 3);
+        (word >> ((addr & 7) * 8)) as u8
+    }
+
+    /// Reads `len` bytes starting at byte address `base`.
+    #[must_use]
+    pub fn read_bytes(&self, base: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_byte(base + i)).collect()
+    }
+
+    /// Number of resident (allocated) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterates over all words ever written (including those re-written to
+    /// zero), as `(word_index, value)` pairs in unspecified order.
+    pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().flat_map(|(p, page)| {
+            let base = p * PAGE_WORDS;
+            page.iter()
+                .enumerate()
+                .map(move |(i, &v)| (base + i as u64, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = SparseMem::new();
+        assert_eq!(m.load(0), 0);
+        assert_eq!(m.load(u64::MAX / 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip_across_pages() {
+        let mut m = SparseMem::new();
+        for i in 0..2000u64 {
+            m.store(i * 37, i);
+        }
+        for i in 0..2000u64 {
+            assert_eq!(m.load(i * 37), i);
+        }
+        assert!(m.resident_pages() > 1);
+    }
+
+    #[test]
+    fn write_image_is_little_endian() {
+        let mut m = SparseMem::new();
+        m.write_image(0x100, &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]);
+        assert_eq!(m.load(0x100 >> 3), 0x8877_6655_4433_2211);
+    }
+
+    #[test]
+    fn write_image_handles_unaligned_base() {
+        let mut m = SparseMem::new();
+        m.store(0x20, u64::MAX);
+        m.write_image(0x103, &[0xAB]);
+        assert_eq!(m.read_byte(0x103), 0xAB);
+        // Neighbouring bytes of the pre-existing word are preserved.
+        assert_eq!(m.read_byte(0x102), 0xFF);
+        assert_eq!(m.read_byte(0x104), 0xFF);
+    }
+
+    #[test]
+    fn read_bytes_spans_words() {
+        let mut m = SparseMem::new();
+        m.write_image(0, b"abcdefghij");
+        assert_eq!(m.read_bytes(2, 6), b"cdefgh");
+    }
+}

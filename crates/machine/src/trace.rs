@@ -1,0 +1,214 @@
+//! Execution tracing and trace comparison.
+//!
+//! A [`Trace`] records `(pc, instruction)` steps with a bounded ring
+//! buffer; [`Trace::first_divergence`] finds where two executions part
+//! ways. The MSSP debugging workflow is: trace the sequential machine,
+//! trace a suspect path (a slave task, the master), and diff — the first
+//! divergent step names the misprediction or the interpreter bug.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::StepInfo;
+
+/// One recorded execution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Address of the executed instruction.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: mssp_isa::Instr,
+    /// Address of the next instruction.
+    pub next_pc: u64,
+}
+
+impl From<&StepInfo> for TraceStep {
+    fn from(info: &StepInfo) -> TraceStep {
+        TraceStep {
+            pc: info.pc,
+            instr: info.instr,
+            next_pc: info.next_pc,
+        }
+    }
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#08x}: {} -> {:#x}", self.pc, self.instr, self.next_pc)
+    }
+}
+
+/// A bounded execution trace (ring buffer of the most recent steps).
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::asm::assemble;
+/// use mssp_machine::{SeqMachine, Trace};
+///
+/// let p = assemble("main: addi a0, zero, 3\n addi a0, a0, -1\n halt").unwrap();
+/// let mut trace = Trace::with_capacity(16);
+/// let mut m = SeqMachine::boot(&p);
+/// m.run_observed(100, |info| trace.record(info)).unwrap();
+/// assert_eq!(trace.len(), 3); // two ALU steps + the halt observation
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    steps: VecDeque<TraceStep>,
+    capacity: usize,
+    /// Total steps ever recorded (≥ `len()` once the ring wraps).
+    recorded: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` recent steps
+    /// (`0` means unbounded).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            steps: VecDeque::new(),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Records one step.
+    pub fn record(&mut self, info: &StepInfo) {
+        if self.capacity != 0 && self.steps.len() == self.capacity {
+            self.steps.pop_front();
+        }
+        self.steps.push_back(TraceStep::from(info));
+        self.recorded += 1;
+    }
+
+    /// Steps currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total steps ever recorded (ignores ring eviction).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Iterates over retained steps, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceStep> {
+        self.steps.iter()
+    }
+
+    /// Index (within the retained windows) of the first step at which the
+    /// two traces diverge, comparing oldest-first. Returns `None` if the
+    /// shorter trace is a prefix of the longer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mssp_isa::asm::assemble;
+    /// use mssp_machine::{SeqMachine, Trace};
+    ///
+    /// let a = assemble("main: addi a0, zero, 1\n halt").unwrap();
+    /// let b = assemble("main: addi a0, zero, 2\n halt").unwrap();
+    /// let run = |p| {
+    ///     let mut t = Trace::with_capacity(0);
+    ///     let mut m = SeqMachine::boot(p);
+    ///     m.run_observed(10, |i| t.record(i)).unwrap();
+    ///     t
+    /// };
+    /// assert_eq!(run(&a).first_divergence(&run(&b)), Some(0));
+    /// assert_eq!(run(&a).first_divergence(&run(&a)), None);
+    /// ```
+    #[must_use]
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        self.steps
+            .iter()
+            .zip(other.steps.iter())
+            .position(|(a, b)| a != b)
+    }
+
+    /// Renders the last `n` steps, one per line.
+    #[must_use]
+    pub fn tail(&self, n: usize) -> String {
+        let skip = self.steps.len().saturating_sub(n);
+        self.steps
+            .iter()
+            .skip(skip)
+            .map(|s| format!("{s}\n"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqMachine;
+    use mssp_isa::asm::assemble;
+
+    fn trace_of(src: &str, cap: usize) -> Trace {
+        let p = assemble(src).unwrap();
+        let mut t = Trace::with_capacity(cap);
+        let mut m = SeqMachine::boot(&p);
+        m.run_observed(10_000, |i| t.record(i)).unwrap();
+        t
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let t = trace_of(
+            "main: addi a0, zero, 50
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+            8,
+        );
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.recorded(), 1 + 100 + 1); // init + 50*(addi,bnez) + halt
+        // The retained tail ends with the halt observation.
+        let last = t.iter().last().unwrap();
+        assert!(last.instr.is_halt());
+    }
+
+    #[test]
+    fn unbounded_capacity_keeps_everything() {
+        let t = trace_of("main: addi a0, zero, 1\n addi a0, a0, 1\n halt", 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn divergence_found_at_data_dependent_branch() {
+        // Identical code, different *data*: traces match instruction for
+        // instruction until the loop branch goes the other way.
+        let src = |n: u64| {
+            format!(
+                ".data
+                 n: .dword {n}
+                 .text
+                 main: la a0, n
+                       ld a0, 0(a0)
+                 loop: addi a0, a0, -1
+                       bnez a0, loop
+                       halt"
+            )
+        };
+        let a = trace_of(&src(2), 0);
+        let b = trace_of(&src(3), 0);
+        // Steps: lui, addi (la), ld, then (addi, bnez) pairs. The second
+        // bnez (index 6) falls through in `a` but loops in `b`.
+        assert_eq!(a.first_divergence(&b), Some(6));
+    }
+
+    #[test]
+    fn tail_formats_requested_suffix() {
+        let t = trace_of("main: addi a0, zero, 1\n addi a1, zero, 2\n halt", 0);
+        let s = t.tail(2);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("halt"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Byte-masked storage semantics: the default `Storage` helpers must be
+//! exactly equivalent to a plain byte-array model across widths,
+//! alignments and overlaps — and masked deltas must compose like byte
+//! arrays too.
+
+use mssp_machine::{expand_mask, Cell, Delta, MachineState, MaskedVal, Storage};
+use proptest::prelude::*;
+
+/// Reference model: a flat byte array.
+#[derive(Clone)]
+struct Flat {
+    bytes: Vec<u8>,
+}
+
+impl Flat {
+    fn new() -> Flat {
+        Flat {
+            bytes: vec![0; 4096],
+        }
+    }
+    fn store(&mut self, addr: u64, len: u8, value: u64) {
+        for i in 0..len as usize {
+            self.bytes[addr as usize + i] = (value >> (i * 8)) as u8;
+        }
+    }
+    fn load(&self, addr: u64, len: u8) -> u64 {
+        let mut out = 0u64;
+        for i in 0..len as usize {
+            out |= (self.bytes[addr as usize + i] as u64) << (i * 8);
+        }
+        out
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, u8, u64)>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            0u64..4000,
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            any::<u64>(),
+        ),
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn storage_helpers_match_flat_byte_model(ops in arb_ops()) {
+        let mut flat = Flat::new();
+        let mut state = MachineState::new();
+        for (is_store, addr, len, value) in ops {
+            if is_store {
+                flat.store(addr, len, value);
+                state.store_bytes(addr, len, value);
+            } else {
+                let expected = flat.load(addr, len);
+                let got = state.load_bytes(addr, len);
+                prop_assert_eq!(got, expected, "load {}B @ {:#x}", len, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_delta_applies_like_byte_writes(ops in arb_ops()) {
+        // Writing through a Delta (masked) then applying must equal
+        // writing directly.
+        let mut direct = MachineState::new();
+        let mut delta = Delta::new();
+        for (_, addr, len, value) in ops {
+            direct.store_bytes(addr, len, value);
+            // Build the same write as masked word updates.
+            let mut done = 0u64;
+            while done < len as u64 {
+                let a = addr + done;
+                let widx = a >> 3;
+                let first = a & 7;
+                let take = (8 - first).min(len as u64 - done);
+                let mask = (((1u16 << take) - 1) as u8) << first;
+                let chunk = ((value >> (done * 8))
+                    & if take >= 8 { u64::MAX } else { (1u64 << (take * 8)) - 1 })
+                    << (first * 8);
+                delta.set_bytes(Cell::Mem(widx), chunk, mask);
+                done += take;
+            }
+        }
+        let mut via_delta = MachineState::new();
+        via_delta.apply(&delta);
+        for w in 0..512u64 {
+            prop_assert_eq!(via_delta.load_word(w), direct.load_word(w), "word {}", w);
+        }
+    }
+
+    #[test]
+    fn masked_val_overwrite_is_byte_exact(
+        a in any::<u64>(), am in any::<u8>(),
+        b in any::<u64>(), bm in any::<u8>(),
+    ) {
+        let old = MaskedVal::partial(a, am);
+        let new = MaskedVal::partial(b, bm);
+        let merged = old.overwrite_with(new);
+        prop_assert_eq!(merged.mask, am | bm);
+        for byte in 0..8u32 {
+            let bit = 1u8 << byte;
+            let got = (merged.value >> (byte * 8)) & 0xFF;
+            let expect = if bm & bit != 0 {
+                (b >> (byte * 8)) & 0xFF
+            } else if am & bit != 0 {
+                (a >> (byte * 8)) & 0xFF
+            } else {
+                0
+            };
+            prop_assert_eq!(got, expect, "byte {}", byte);
+        }
+    }
+
+    #[test]
+    fn consistency_is_reflexive_and_monotone(
+        pairs in proptest::collection::vec((0u64..32, any::<u64>()), 0..10),
+        extra in proptest::collection::vec((32u64..64, any::<u64>()), 0..10),
+    ) {
+        let base: Delta = pairs.iter().map(|&(w, v)| (Cell::Mem(w), v)).collect();
+        prop_assert!(base.consistent_with(&base));
+        let mut bigger = base.clone();
+        for &(w, v) in &extra {
+            bigger.set(Cell::Mem(w), v);
+        }
+        prop_assert!(base.consistent_with(&bigger));
+    }
+
+    #[test]
+    fn expand_mask_expands_each_bit(mask in any::<u8>()) {
+        let em = expand_mask(mask);
+        for byte in 0..8u32 {
+            let expected = if mask & (1 << byte) != 0 { 0xFF } else { 0 };
+            prop_assert_eq!((em >> (byte * 8)) & 0xFF, expected);
+        }
+    }
+}

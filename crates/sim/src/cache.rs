@@ -1,0 +1,239 @@
+//! Set-associative caches with LRU replacement.
+//!
+//! The timing model gives each core a private L1 (instruction and data)
+//! backed by a shared L2 — the paper's CMP memory system, where the L2
+//! holds architected state and L1s hold speculative per-core data (which
+//! is why a squash invalidates the squashed core's L1).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A 16 KiB, 2-way, 64 B-line L1 (the reference configuration).
+    #[must_use]
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 16 << 10,
+            ways: 2,
+            line_bytes: 64,
+        }
+    }
+
+    /// A 1 MiB, 8-way, 64 B-line shared L2.
+    #[must_use]
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (zero if never accessed).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU, allocate-on-miss cache model.
+///
+/// Only hit/miss behaviour is modelled (no data storage — the machine
+/// state lives elsewhere); this is a latency model, exactly what the
+/// timing simulation needs.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_sim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::l1_default());
+/// assert!(!c.access(0x1000)); // cold miss
+/// assert!(c.access(0x1008));  // same line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two or the geometry is
+    /// degenerate.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways > 0 && config.size_bytes >= config.line_bytes * config.ways);
+        Cache {
+            config,
+            sets: vec![vec![Line::default(); config.ways]; config.num_sets()],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. A miss
+    /// allocates the line (evicting LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line_addr = addr / self.config.line_bytes as u64;
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways > 0");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = self.tick;
+        false
+    }
+
+    /// Invalidates every line (used when a core's speculative state is
+    /// squashed).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+            }
+        }
+    }
+
+    /// Access counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn spatial_locality_hits_within_line() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        for off in 1..64 {
+            assert!(c.access(0x100 + off));
+        }
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 63);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line addresses 0, 2, 4 (2 sets).
+        assert!(!c.access(0 * 64));
+        assert!(!c.access(2 * 64));
+        assert!(c.access(0 * 64)); // touch 0: now 2 is LRU
+        assert!(!c.access(4 * 64)); // evicts 2
+        assert!(c.access(0 * 64)); // 0 still resident
+        assert!(!c.access(2 * 64)); // 2 was evicted
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        assert!(!c.access(0 * 64)); // set 0
+        assert!(!c.access(1 * 64)); // set 1
+        assert!(c.access(0 * 64));
+        assert!(c.access(1 * 64));
+    }
+
+    #[test]
+    fn invalidate_all_forces_misses() {
+        let mut c = tiny();
+        c.access(0x40);
+        assert!(c.access(0x40));
+        c.invalidate_all();
+        assert!(!c.access(0x40));
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(64 * 1024);
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 2);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_configs_are_sane() {
+        let l1 = Cache::new(CacheConfig::l1_default());
+        let l2 = Cache::new(CacheConfig::l2_default());
+        assert!(l1.config().size_bytes < l2.config().size_bytes);
+    }
+}

@@ -1,0 +1,96 @@
+; bzip2_like — counting sort / histogram phases (SPECint bzip2 analog:
+; Burrows-Wheeler bucket counting). Three phases: byte generation,
+; histogram accumulation, prefix sums + permutation checksum.
+.equ DATA, 0x200000
+.equ HIST, 0x380000
+.equ PFX,  0x390000
+.equ BLKSUM, 0x3A0000
+
+main:
+    li   s2, DATA
+    li   s3, HIST
+    li   s4, SCALE
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    ; clear histogram (256 dwords)
+    mv   t0, zero
+clr:
+    slli t2, t0, 3
+    add  t2, s3, t2
+    sd   zero, 0(t2)
+    addi t0, t0, 1
+    addi t1, zero, 256
+    blt  t0, t1, clr
+    ; generate bytes (geometric-ish skew via double draw)
+    mv   t0, zero
+gen:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 56
+    srli t2, s7, 40
+    andi t2, t2, 255
+    and  t1, t1, t2            ; skewed distribution
+    add  t3, s2, t0
+    sb   t1, 0(t3)
+    addi t0, t0, 1
+    blt  t0, s4, gen
+    ; histogram in 256-byte chunks
+    mv   t0, zero
+hist_blk:                       ; ---- chunk loop (boundary) ----
+    addi s8, t0, 256
+    ble  s8, s4, hb_ok
+    mv   s8, s4
+hb_ok:
+hist:
+    bge  t0, s8, hb_done
+    add  t3, s2, t0
+    lbu  t1, 0(t3)
+    ; redundant bucket-index recheck: recompute the slot address and
+    ; verify (never differs; distils away with the asserted compare)
+    slli t5, t1, 3
+    add  t5, s3, t5
+    slli t2, t1, 3
+    add  t2, s3, t2
+    bne  t5, t2, slot_bad
+slot_ok:
+    ld   t4, 0(t2)
+    addi t4, t4, 1
+    sd   t4, 0(t2)
+    ; guard: count can never exceed n
+    bgt  t4, s4, hist_corrupt
+    ; write-only running block checksum (bookkeeping)
+    add  t6, t6, t1
+    li   t5, BLKSUM
+    sd   t6, 0(t5)
+    addi t0, t0, 1
+    j    hist
+hb_done:
+    blt  t0, s4, hist_blk
+    ; prefix sums into PFX, fold into checksum
+    li   s9, PFX
+    mv   t0, zero
+    mv   t5, zero              ; running sum
+pfx:
+    slli t2, t0, 3
+    add  t2, s3, t2
+    ld   t4, 0(t2)
+    add  t5, t5, t4
+    slli t2, t0, 3
+    add  t2, s9, t2
+    sd   t5, 0(t2)
+    mul  t6, t5, t0
+    add  s1, s1, t6
+    addi t0, t0, 1
+    addi t1, zero, 256
+    blt  t0, t1, pfx
+    halt
+
+hist_corrupt:                   ; cold repair (never executed)
+    sd   zero, 0(t2)
+    addi t0, t0, 1
+    j    hist
+slot_bad:                       ; cold repair (never executed)
+    mv   t2, t5
+    j    slot_ok

@@ -1,0 +1,67 @@
+; crafty_like — 64-bit bitboard manipulation (SPECint crafty analog:
+; chess move generation). Bit-twiddling with a short data-dependent
+; population-count loop and a few never-taken legality guards.
+.equ MAGIC1, 0x9E3779B97F4A7C15
+.equ HISTORY, 0x300000
+
+main:
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s4, SCALE             ; positions to evaluate
+    li   s8, MAGIC1
+    li   s9, HISTORY           ; history table (write-only bookkeeping)
+    mv   s1, zero
+    mv   t0, zero
+pos:                            ; ---- per-position loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    mv   t1, s7                ; board
+    ; attack-spread: smear bits like sliding-piece attacks
+    slli t2, t1, 8
+    or   t1, t1, t2
+    srli t2, t1, 9
+    xor  t1, t1, t2
+    mul  t1, t1, s8
+    ; redundant legality recheck: recompute the spread independently and
+    ; compare (never differs; distils away with its asserted branch)
+    mv   a0, s7
+    slli a1, a0, 8
+    or   a0, a0, a1
+    srli a1, a0, 9
+    xor  a0, a0, a1
+    mul  a0, a0, s8
+    bne  a0, t1, spread_bad
+spread_ok:
+    ; history update: write-only scoring table
+    andi a2, s7, 1023
+    slli a2, a2, 3
+    add  a2, s9, a2
+    sd   t1, 0(a2)
+    ; population count via Kernighan's loop (taken ~97%)
+    mv   t3, zero              ; count
+popcnt:
+    beqz t1, pop_done
+    addi t4, t1, -1
+    and  t1, t1, t4
+    addi t3, t3, 1
+    ; guard: more than 64 bits is impossible
+    addi t5, zero, 64
+    bgt  t3, t5, corrupt
+    j    popcnt
+pop_done:
+    ; score: weight count by file/rank masks
+    andi t6, s7, 7
+    mul  t4, t3, t6
+    add  s1, s1, t4
+    add  s1, s1, t3
+    addi t0, t0, 1
+    blt  t0, s4, pos
+    halt
+
+corrupt:                        ; cold repair (never executed)
+    mv   t3, zero
+    j    pop_done
+spread_bad:                     ; cold repair (never executed)
+    mv   t1, a0
+    j    spread_ok

@@ -1,0 +1,87 @@
+; eon_like — fixed-point ray/sphere intersection kernel (SPECint eon
+; analog: probabilistic ray tracing, the only C++ benchmark in the
+; suite). Dense multiply chains per ray with a hit/miss branch of
+; moderate bias, a never-taken discriminant-overflow guard, and a
+; write-only framebuffer.
+.equ SPHERES, 0x200000
+.equ FRAME, 0x400000
+.equ NSPH, 64
+
+main:
+    li   s2, SPHERES
+    li   s3, FRAME
+    li   s4, SCALE             ; rays to cast
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s8, NSPH
+    mv   s1, zero
+    ; scene setup: sphere centres (cx, cy) and radius^2, fixed-point 8.8
+    mv   t0, zero
+scene:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 50            ; cx in 0..16383
+    srli t2, s7, 36
+    andi t2, t2, 16383         ; cy
+    srli t3, s7, 20
+    andi t3, t3, 4095
+    addi t3, t3, 512           ; r^2 in 512..4607
+    slli t4, t0, 5             ; 32-byte sphere records
+    add  t4, s2, t4
+    sd   t1, 0(t4)
+    sd   t2, 8(t4)
+    sd   t3, 16(t4)
+    addi t0, t0, 1
+    blt  t0, s8, scene
+
+    mv   t0, zero              ; ray counter
+ray:                            ; ---- per-ray loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli a0, s7, 50            ; ray origin x
+    srli a1, s7, 36
+    andi a1, a1, 16383         ; ray origin y
+    ; test against a pseudo-random sphere (data-dependent index)
+    srli a2, s7, 10
+    andi a2, a2, 63            ; sphere index
+    slli a3, a2, 5
+    add  a3, s2, a3
+    ld   a4, 0(a3)             ; cx
+    ld   a5, 8(a3)             ; cy
+    ld   a6, 16(a3)            ; r^2
+    sub  t1, a0, a4            ; dx
+    sub  t2, a1, a5            ; dy
+    mul  t3, t1, t1
+    mul  t4, t2, t2
+    add  t5, t3, t4            ; distance^2
+    ; guard: the discriminant cannot overflow 40 bits for 14-bit coords
+    li   t6, 0x10000000000
+    bgeu t5, t6, disc_ovf
+disc_ok:
+    bltu t5, a6, hit           ; inside radius: a hit (~2-4%)
+    ; miss: cheap ambient shading
+    srli t6, t5, 8
+    add  s1, s1, t6
+    j    shade_done
+hit:
+    ; hit: expensive shading (normal, dot products, fixed-point divide)
+    sub  t6, a6, t5
+    mul  t7, t6, t6
+    srli t7, t7, 8
+    addi t5, t5, 1             ; avoid divide by zero
+    divu t7, t7, t5
+    add  s1, s1, t7
+shade_done:
+    ; framebuffer write: write-only output (distils away)
+    andi t6, t0, 4095
+    slli t6, t6, 3
+    add  t6, s3, t6
+    sd   s1, 0(t6)
+    addi t0, t0, 1
+    blt  t0, s4, ray
+    halt
+
+disc_ovf:                       ; cold clamp (never executed)
+    li   t5, 0xFFFFFFFFFF
+    j    disc_ok

@@ -1,0 +1,91 @@
+; gap_like — dense polynomial arithmetic over vectors (SPECint gap
+; analog: computer-algebra arithmetic kernels). Very large basic blocks,
+; perfectly predictable control, several never-taken overflow guards and
+; instrumentation counters the distiller eliminates — the best-case
+; distillation workload.
+.equ HEAP, 0x200000
+.equ OUTV, 0x300000
+
+main:
+    li   s2, HEAP
+    li   s3, OUTV
+    li   s4, SCALE             ; element count
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    mv   t0, zero
+fill:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 32
+    slli t2, t0, 3
+    add  t2, s2, t2
+    sd   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s4, fill
+
+    mv   t0, zero              ; i
+    mv   s8, zero              ; instrumentation: op counter (dead)
+    mv   s9, zero              ; instrumentation: max value (dead)
+poly:                           ; ---- per-element loop (boundary) ----
+    slli t2, t0, 3
+    add  t2, s2, t2
+    ld   t1, 0(t2)             ; x
+    andi t1, t1, 255           ; keep values small: poly(255) < 2^60
+    ; Horner evaluation of degree-7 polynomial with odd coefficients.
+    addi t3, zero, 7
+    mul  t3, t3, t1
+    addi t3, t3, 11
+    mul  t3, t3, t1
+    addi t3, t3, 13
+    mul  t3, t3, t1
+    addi t3, t3, 17
+    mul  t3, t3, t1
+    addi t3, t3, 19
+    mul  t3, t3, t1
+    addi t3, t3, 23
+    mul  t3, t3, t1
+    addi t3, t3, 29
+    ; guard: "overflow" check, never taken (poly of a 16-bit input
+    ; cannot reach i64::MAX)
+    li   t5, 0x7FFFFFFFFFFFFFFF
+    bgtu t3, t5, ovf
+resume:
+    ; redundant self-check: a second, independent Horner evaluation that
+    ; must agree with the first; the compare never fails, so the whole
+    ; recomputation distills away with the asserted branch.
+    addi a4, zero, 7
+    mul  a4, a4, t1
+    addi a4, a4, 11
+    mul  a4, a4, t1
+    addi a4, a4, 13
+    mul  a4, a4, t1
+    addi a4, a4, 17
+    mul  a4, a4, t1
+    addi a4, a4, 19
+    mul  a4, a4, t1
+    addi a4, a4, 23
+    mul  a4, a4, t1
+    addi a4, a4, 29
+    bne  a4, t3, check_fail    ; never taken
+check_ok:
+    slli t2, t0, 3
+    add  t2, s3, t2
+    sd   t3, 0(t2)
+    add  s1, s1, t3
+    ; dead instrumentation (removed by distiller DCE)
+    addi s8, s8, 8
+    bltu t3, s9, no_max
+    mv   s9, t3
+no_max:
+    addi t0, t0, 1
+    blt  t0, s4, poly
+    halt
+
+ovf:                            ; cold clamp path
+    li   t3, 0x7FFFFFFFFFFFFFFF
+    j    resume
+check_fail:                     ; cold repair path (never executed)
+    mv   t3, a4
+    j    check_ok

@@ -1,0 +1,77 @@
+; gcc_like — linked-list IR traversal with irregular branching (SPECint
+; gcc analog). Builds a singly linked list of value nodes, then runs
+; three transform passes whose per-node branches are value-dependent and
+; only mildly biased — a middling distillation target.
+.equ NODES, 0x200000
+.equ NODESZ, 16
+
+main:
+    li   s2, NODES
+    li   s4, SCALE             ; node count
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    ; build list: node = [value: dword][next: dword]
+    mv   t0, zero
+build:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 40
+    slli t2, t0, 4             ; node offset (16 bytes)
+    add  t2, s2, t2
+    sd   t1, 0(t2)             ; value
+    addi t3, t0, 1
+    slli t3, t3, 4
+    add  t3, s2, t3
+    sd   t3, 8(t2)             ; next pointer
+    addi t0, t0, 1
+    blt  t0, s4, build
+    ; terminate list
+    addi t0, s4, -1
+    slli t2, t0, 4
+    add  t2, s2, t2
+    sd   zero, 8(t2)
+
+    mv   s8, zero              ; pass counter
+pass:                           ; ---- per-pass-chunk via node loop ----
+    mv   t4, s2                ; cursor
+node:                           ; ---- per-node loop (boundary) ----
+    ld   t1, 0(t4)             ; value
+    ; pointer sanity check: node cursor must stay inside the arena
+    ; (never fires; the whole check distils away once asserted)
+    li   t6, 0x200000
+    bltu t4, t6, node_corrupt
+    slli t7, s4, 4
+    add  t7, t6, t7
+    bgeu t4, t7, node_corrupt
+node_ok:
+    ; irregular transform choice on low bits (~50/25/25)
+    andi t2, t1, 3
+    beqz t2, xf_fold
+    addi t3, zero, 1
+    beq  t2, t3, xf_scale
+    ; default: rotate-ish mix
+    srli t3, t1, 7
+    xor  t1, t1, t3
+    j    store
+xf_fold:
+    srli t3, t1, 32
+    add  t1, t1, t3
+    j    store
+xf_scale:
+    slli t3, t1, 1
+    add  t1, t1, t3            ; *3
+store:
+    sd   t1, 0(t4)
+    add  s1, s1, t1
+    ld   t4, 8(t4)             ; next
+    bnez t4, node
+    addi s8, s8, 1
+    addi t5, zero, 3
+    blt  s8, t5, pass
+    halt
+
+node_corrupt:                   ; cold repair (never executed)
+    mv   t4, t6
+    j    node_ok

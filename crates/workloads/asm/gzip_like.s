@@ -1,0 +1,72 @@
+; gzip_like — run-length compression kernel (SPECint gzip analog).
+; Phase 1 generates SCALE pseudo-random bytes from a 16-symbol alphabet;
+; phase 2 RLE-encodes them block by block (64-byte blocks), with
+; never-taken guard checks (run-length overflow, output overflow) that the
+; distiller removes. Checksum of the encoded stream accumulates in s1.
+.equ HEAP, 0x200000
+.equ OUTB, 0x400000
+.equ OUTLIM, 0x500000
+
+main:
+    li   s2, HEAP              ; input buffer
+    li   s3, OUTB              ; output buffer
+    li   s4, SCALE             ; input size in bytes
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero              ; checksum
+    mv   t0, zero              ; i
+gen:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 59
+    andi t1, t1, 15            ; 16-symbol alphabet
+    add  t2, s2, t0
+    sb   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s4, gen
+
+    mv   s8, s3                ; output pointer
+    mv   s9, zero              ; block start
+block:                          ; ---- per-64-byte-block loop (boundary) ----
+    addi s10, s9, 64           ; block end
+    ble  s10, s4, blk_ok
+    mv   s10, s4
+blk_ok:
+    mv   t0, s9                ; i = block start
+rle:
+    bge  t0, s10, blk_done
+    add  t2, s2, t0
+    lbu  t3, 0(t2)             ; run byte
+    addi t4, zero, 1           ; run length
+scan:
+    add  t5, t0, t4
+    bge  t5, s10, emit
+    add  t2, s2, t5
+    lbu  t6, 0(t2)
+    bne  t6, t3, emit
+    addi t4, t4, 1
+    addi t7, zero, 255
+    bgt  t4, t7, run_ovf       ; guard: never taken (runs are short)
+    j    scan
+emit:
+    sb   t3, 0(s8)
+    sb   t4, 1(s8)
+    addi s8, s8, 2
+    li   t7, OUTLIM
+    bgeu s8, t7, out_ovf       ; guard: never taken
+    add  s1, s1, t3
+    add  s1, s1, t4
+    add  t0, t0, t4
+    j    rle
+blk_done:
+    mv   s9, s10
+    blt  s9, s4, block
+    halt
+
+run_ovf:                        ; cold repair path (dead in training)
+    addi t4, zero, 255
+    j    emit
+out_ovf:
+    mv   s8, s3
+    j    rle

@@ -1,0 +1,50 @@
+; mcf_like — pointer chasing over a shuffled permutation (SPECint mcf
+; analog: network-simplex pointer structures). Serial dependence chain of
+; data-dependent loads, cache-hostile, almost nothing to distill: the
+; workload where MSSP gains least.
+.equ HEAP, 0x200000
+
+main:
+    li   s2, HEAP
+    li   s4, SCALE             ; table size (elements)
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    mv   t0, zero
+init:                           ; identity permutation
+    slli t2, t0, 3
+    add  t2, s2, t2
+    sd   t0, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s4, init
+
+    mv   t0, zero
+shuffle:                        ; n random transpositions
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 33
+    remu t1, t1, s4            ; j
+    slli t2, t0, 3
+    add  t2, s2, t2
+    ld   t3, 0(t2)             ; p[i]
+    slli t4, t1, 3
+    add  t4, s2, t4
+    ld   t5, 0(t4)             ; p[j]
+    sd   t5, 0(t2)
+    sd   t3, 0(t4)
+    addi t0, t0, 1
+    blt  t0, s4, shuffle
+
+    mv   t6, zero              ; cursor
+    li   s8, 4
+    mul  s9, s4, s8            ; chase steps = 4n
+    mv   t0, zero
+chase:                          ; ---- walk loop (boundary) ----
+    slli t2, t6, 3
+    add  t2, s2, t2
+    ld   t6, 0(t2)             ; cursor = p[cursor]
+    add  s1, s1, t6
+    addi t0, t0, 1
+    blt  t0, s9, chase
+    halt

@@ -1,0 +1,91 @@
+; parser_like — tokenizer over generated text (SPECint parser analog:
+; link-grammar dictionary scanning). Byte-granular loads, character-class
+; branches of moderate bias, per-word hashing.
+.equ TEXT, 0x200000
+.equ TOKLOG, 0x500000
+
+main:
+    li   s2, TEXT
+    li   s4, SCALE             ; text length
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    mv   t0, zero
+gen:                            ; generate text: letters, ~1/8 spaces
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 58            ; 6 bits: 0..63
+    andi t2, t1, 7
+    bnez t2, letter
+    addi t3, zero, 32          ; space
+    j    put
+letter:
+    andi t3, t1, 31
+    addi t3, t3, 97            ; 'a'..
+put:
+    add  t4, s2, t0
+    sb   t3, 0(t4)
+    addi t0, t0, 1
+    blt  t0, s4, gen
+
+    mv   t0, zero              ; i
+    mv   s8, zero              ; word hash
+    mv   s9, zero              ; token count
+    li   s11, TOKLOG           ; token log (write-only)
+scan_blk:                       ; ---- 128-byte chunk loop (boundary) ----
+    addi s10, t0, 128
+    ble  s10, s4, chunk_ok
+    mv   s10, s4
+chunk_ok:
+scan:
+    bge  t0, s10, chunk_done
+    add  t4, s2, t0
+    lbu  t3, 0(t4)
+    ; redundant re-read consistency check (text is immutable here; never
+    ; differs, so load+compare distil away once asserted)
+    lbu  t7, 0(t4)
+    bne  t7, t3, char_bad
+char_ok:
+    addi t5, zero, 32
+    beq  t3, t5, word_end      ; space: ~1/8
+    ; letter: extend hash
+    slli t6, s8, 5
+    add  s8, t6, s8            ; hash*33
+    add  s8, s8, t3
+    ; guard: token longer than 4096 chars is impossible
+    li   t6, 0x1000000000
+    bgtu s8, t6, hash_fold
+cont:
+    addi t0, t0, 1
+    j    scan
+word_end:
+    add  s1, s1, s8
+    ; token log entry: (hash, position) — never read back
+    sd   s8, 0(s11)
+    sd   t0, 8(s11)
+    addi s11, s11, 16
+    li   t6, 0x600000
+    bgeu s11, t6, log_wrap     ; guard: never taken at this scale
+log_ok:
+    mv   s8, zero
+    addi s9, s9, 1
+    addi t0, t0, 1
+    j    scan
+chunk_done:
+    blt  t0, s4, scan_blk
+    add  s1, s1, s9
+    halt
+
+char_bad:                       ; cold repair (never executed)
+    mv   t3, t7
+    j    char_ok
+log_wrap:                       ; cold wrap (never executed)
+    li   s11, TOKLOG
+    j    log_ok
+hash_fold:                      ; cold-ish path: fold hash (rare by bound)
+    srli t6, s8, 30
+    xor  s8, s8, t6
+    li   t6, 0xFFFFFFF
+    and  s8, s8, t6
+    j    cont

@@ -1,0 +1,73 @@
+; perlbmk_like — bytecode interpreter dispatch loop (SPECint perlbmk
+; analog). A random opcode stream drives an unbiased dispatch tree;
+; almost nothing is assertable or removable, so the distilled program is
+; barely shorter than the original — MSSP's worst-case character.
+.equ CODE, 0x200000
+
+main:
+    li   s2, CODE
+    li   s4, SCALE             ; bytecode length
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    mv   s1, zero
+    mv   t0, zero
+gen:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 59
+    andi t1, t1, 7             ; opcode 0..7
+    add  t2, s2, t0
+    sb   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s4, gen
+
+    mv   t0, zero              ; vpc
+    mv   s8, zero              ; acc
+    addi s9, zero, 1           ; reg b
+dispatch:                       ; ---- interpreter loop (boundary) ----
+    add  t2, s2, t0
+    lbu  t1, 0(t2)             ; opcode
+    addi t3, zero, 4
+    blt  t1, t3, low_ops
+    addi t3, zero, 6
+    blt  t1, t3, mid_ops
+    ; op 6: xor-mix | op 7: shift
+    addi t3, zero, 6
+    beq  t1, t3, op_xor
+    srli s8, s8, 1
+    addi s8, s8, 3
+    j    next
+op_xor:
+    xor  s8, s8, s9
+    j    next
+low_ops:                        ; ops 0..3
+    addi t3, zero, 2
+    blt  t1, t3, op01
+    addi t3, zero, 2
+    beq  t1, t3, op_add
+    sub  s8, s8, s9            ; op 3
+    j    next
+op_add:
+    add  s8, s8, s9
+    j    next
+op01:
+    beqz t1, op_load
+    addi s9, s8, 1             ; op 1: b = acc+1
+    j    next
+op_load:
+    addi s8, t0, 0             ; op 0: acc = vpc
+    j    next
+mid_ops:                        ; ops 4..5
+    addi t3, zero, 4
+    beq  t1, t3, op_mul
+    or   s8, s8, s9            ; op 5
+    j    next
+op_mul:
+    mul  s8, s8, s9
+    j    next
+next:
+    add  s1, s1, s8
+    addi t0, t0, 1
+    blt  t0, s4, dispatch
+    halt

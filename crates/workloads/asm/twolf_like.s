@@ -1,0 +1,89 @@
+; twolf_like — standard-cell swap kernel on a grid (SPECint twolf
+; analog). Neighbour-sum cost over a 64×64 grid, ~40% accept rate, and a
+; rare rebalance event every 4096 iterations that the aggressive
+; distiller asserts away.
+.equ GRID, 0x200000
+.equ DIM, 64
+
+main:
+    li   s2, GRID
+    li   s4, SCALE
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s8, DIM
+    mul  s9, s8, s8            ; cells
+    mv   s1, zero
+    mv   t0, zero
+init:
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 52
+    slli t2, t0, 3
+    add  t2, s2, t2
+    sd   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s9, init
+
+    mv   t0, zero
+iter:                           ; ---- per-swap loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 30
+    remu t1, t1, s9            ; cell index
+    ; neighbour sum (left and right, wrap by masking)
+    addi t2, t1, 1
+    remu t2, t2, s9
+    addi t3, t1, 63
+    remu t3, t3, s9
+    slli t4, t1, 3
+    add  t4, s2, t4
+    ld   t5, 0(t4)             ; v
+    slli t6, t2, 3
+    add  t6, s2, t6
+    ld   t6, 0(t6)             ; right
+    slli t7, t3, 3
+    add  t7, s2, t7
+    ld   t7, 0(t7)             ; left
+    add  s10, t6, t7
+    srli s10, s10, 1           ; neighbour mean
+    ; redundant cost recompute (reverse order) with consistency check
+    add  a0, t7, t6
+    srli a0, a0, 1
+    bne  a0, s10, cost_bad     ; never taken
+cost_ok:
+    ; accept when v deviates from mean (about 40%)
+    sub  s11, t5, s10
+    bltz s11, below
+    ; above mean: pull down when gap > 64
+    addi t6, zero, 64
+    blt  s11, t6, skip
+    sub  t5, t5, t6
+    j    commit
+below:
+    addi t5, t5, 32
+commit:
+    sd   t5, 0(t4)
+    add  s1, s1, t5
+skip:
+    ; rare rebalance every 4096 (bias 0.99976 — assertable)
+    li   t6, 4095
+    and  t6, t0, t6
+    beqz t6, rebalance
+resume:
+    addi t0, t0, 1
+    blt  t0, s4, iter
+    halt
+
+cost_bad:                       ; cold repair (never executed)
+    mv   s10, a0
+    j    cost_ok
+rebalance:                      ; cold global adjustment
+    andi t6, t0, 255
+    slli t6, t6, 3
+    add  t6, s2, t6
+    ld   t7, 0(t6)
+    addi t7, t7, 5
+    sd   t7, 0(t6)
+    add  s1, s1, t7
+    j    resume

@@ -1,0 +1,90 @@
+; vortex_like — object-store hash table insert/lookup (SPECint vortex
+; analog). Multiplicative hashing with linear probing at ~40% load
+; factor: probe-collision branches are biased but not assertable, while
+; table-full guards never fire and distil away.
+.equ TABLE, 0x200000
+.equ AUDIT, 0x600000
+.equ TBITS, 14
+.equ TSIZE, 16384
+
+main:
+    li   s2, TABLE
+    li   s4, SCALE             ; operations
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s8, TSIZE
+    li   s11, AUDIT            ; audit log cursor (never read back)
+    mv   s1, zero
+    ; clear table
+    mv   t0, zero
+clr:
+    slli t2, t0, 3
+    add  t2, s2, t2
+    sd   zero, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s8, clr
+
+    mv   t0, zero
+op:                             ; ---- per-operation loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 24            ; key (nonzero with high probability)
+    ori  t1, t1, 1             ; ensure nonzero
+    ; multiplicative hash to TBITS bits
+    li   t2, 0x9E3779B97F4A7C15
+    mul  t3, t1, t2
+    srli t3, t3, 50            ; 64-TBITS
+    ; redundant integrity check: recompute the hash and compare
+    ; (never fails, so the distiller asserts it away entirely)
+    li   a0, 0x9E3779B97F4A7C15
+    mul  a1, t1, a0
+    srli a1, a1, 50
+    bne  a1, t3, hash_corrupt
+hash_ok:
+    ; audit log: record (key, slot) — write-only bookkeeping
+    sd   t1, 0(s11)
+    sd   t3, 8(s11)
+    addi s11, s11, 16
+    li   a2, 0x700000
+    bgeu s11, a2, audit_wrap   ; guard: never taken at this scale
+audit_ok:
+    mv   t4, zero              ; probe count
+probe:
+    add  t5, t3, t4
+    andi t5, t5, 16383         ; mod TSIZE
+    slli t6, t5, 3
+    add  t6, s2, t6
+    ld   t7, 0(t6)
+    beqz t7, insert            ; empty slot (likely at low load)
+    beq  t7, t1, found         ; duplicate key (rare)
+    addi t4, t4, 1
+    ; guard: table full is impossible at this load factor
+    bge  t4, s8, table_full
+    j    probe
+insert:
+    ; keep load factor bounded: only insert while i/4 < TSIZE/2
+    srli t7, t0, 2
+    slli s10, s8, 0
+    srli s10, s10, 1
+    bge  t7, s10, skip_insert
+    sd   t1, 0(t6)
+skip_insert:
+    add  s1, s1, t5
+    j    done_op
+found:
+    add  s1, s1, t1
+done_op:
+    addi t0, t0, 1
+    blt  t0, s4, op
+    halt
+
+table_full:                     ; cold repair (never executed)
+    mv   t4, zero
+    j    insert
+hash_corrupt:                   ; cold repair (never executed)
+    mv   t3, a1
+    j    hash_ok
+audit_wrap:                     ; cold wrap (never executed at this scale)
+    li   s11, AUDIT
+    j    audit_ok

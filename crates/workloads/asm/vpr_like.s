@@ -1,0 +1,72 @@
+; vpr_like — simulated-annealing placement kernel (SPECint vpr analog).
+; Random cell swaps with a multiply-heavy cost function and a ~30%-accept
+; branch; a rare re-anneal event (every 8192 moves) gives the aggressive
+; distiller a 0.9998-biased branch to assert — and occasionally mispredict.
+.equ CELLS, 0x200000
+.equ NCELL, 1024
+
+main:
+    li   s2, CELLS
+    li   s4, SCALE             ; moves
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s8, NCELL
+    mv   s1, zero
+    mv   t0, zero
+init:                           ; positions p[i] = LCG
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 48
+    slli t2, t0, 3
+    add  t2, s2, t2
+    sd   t1, 0(t2)
+    addi t0, t0, 1
+    blt  t0, s8, init
+
+    mv   t0, zero              ; move counter
+move:                           ; ---- per-move loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 34
+    remu t1, t1, s8            ; cell a
+    srli t2, s7, 13
+    remu t2, t2, s8            ; cell b
+    slli t3, t1, 3
+    add  t3, s2, t3
+    ld   t4, 0(t3)             ; p[a]
+    slli t5, t2, 3
+    add  t5, s2, t5
+    ld   t6, 0(t5)             ; p[b]
+    ; cost delta: quadratic wirelength model
+    sub  t7, t4, t6
+    mul  t7, t7, t7
+    sub  s10, t1, t2
+    mul  s10, s10, s10
+    sub  t7, t7, s10           ; delta
+    ; accept if delta has low bits set pattern (~50%) and positive (~25%)
+    bltz t7, reject
+    andi s10, t7, 1
+    beqz s10, reject
+    sd   t6, 0(t3)             ; swap positions
+    sd   t4, 0(t5)
+    add  s1, s1, t7
+reject:
+    ; rare re-anneal every 8192 moves (bias 0.99988 — assertable)
+    li   s10, 8191
+    and  s10, t0, s10
+    beqz s10, reanneal
+resume:
+    addi t0, t0, 1
+    blt  t0, s4, move
+    halt
+
+reanneal:                       ; cold: perturb the RNG and one cell
+    addi s7, s7, 97
+    andi s10, t0, 1023
+    slli s10, s10, 3
+    add  s10, s2, s10
+    ld   t4, 0(s10)
+    srli t4, t4, 1
+    sd   t4, 0(s10)
+    j    resume

@@ -1,0 +1,77 @@
+//! The decoupling demonstration: run a workload under masters of varying
+//! quality — honest, mediocre, garbage, and dead — and show that the
+//! committed result never changes; only performance does. This is the
+//! paper's central claim, executable.
+//!
+//! Run with: `cargo run --release --example adversarial_master`
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mssp::prelude::*;
+
+fn run_with(label: &str, program: &Program, d: &Distilled, expected: u64) {
+    let tcfg = TimingConfig::default();
+    let mssp = run_mssp(program, d, &tcfg).expect("terminates");
+    let baseline = run_baseline(program, &tcfg, u64::MAX).expect("baseline");
+    assert_eq!(
+        mssp.run.state.reg(CHECKSUM_REG),
+        expected,
+        "{label}: architected state corrupted!"
+    );
+    println!(
+        "{label:<20} checksum OK, speedup {:.3}, {} commits, {} squashes, {:.1}% recovery",
+        speedup(baseline.cycles, mssp.run.cycles),
+        mssp.run.stats.committed_tasks,
+        mssp.run.stats.squash_events(),
+        100.0 * mssp.run.stats.recovery_fraction(),
+    );
+}
+
+fn main() {
+    let w = Workload::by_name("gzip_like").expect("registry");
+    let program = w.program(8_192);
+
+    let mut seq = SeqMachine::boot(&program);
+    seq.run(u64::MAX).expect("runs");
+    let expected = seq.state().reg(CHECKSUM_REG);
+    println!("reference checksum: {expected:#x}\n");
+
+    let profile = Profile::collect(&program, u64::MAX).expect("profiles");
+
+    // 1. The honest, profile-guided master.
+    let honest = distill(&program, &profile, &DistillConfig::default()).expect("distills");
+    run_with("honest master", &program, &honest, expected);
+
+    // 2. An identity master (no approximation): pure paradigm overhead.
+    let identity = distill(
+        &program,
+        &profile,
+        &DistillConfig::at_level(DistillLevel::None),
+    )
+    .expect("distills");
+    run_with("identity master", &program, &identity, expected);
+
+    // 3. A garbage master: scribbles nonsense and spawns at one boundary.
+    let boundary = *honest.boundaries().iter().next().expect("has boundaries");
+    let garbage_src = "
+        main: addi s1, zero, 666
+        evil: addi s7, s7, 13
+              xor  s1, s1, s7
+              j    evil";
+    let garbage = assemble(garbage_src).expect("assembles");
+    let mut map = BTreeMap::new();
+    map.insert(program.entry(), garbage.entry());
+    map.insert(boundary, garbage.symbol("evil").expect("label"));
+    let evil = Distilled::from_parts(garbage, BTreeSet::from([boundary]), map);
+    run_with("garbage master", &program, &evil, expected);
+
+    // 4. A dead master (halts immediately): sequential recovery does all
+    //    the work — slow, but still exactly correct.
+    let dead = assemble("main: halt").expect("assembles");
+    let mut map = BTreeMap::new();
+    map.insert(program.entry(), dead.entry());
+    let dead_master = Distilled::from_parts(dead, BTreeSet::new(), map);
+    run_with("dead master", &program, &dead_master, expected);
+
+    println!("\nCorrectness was never at the master's mercy — only speed.");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: assemble a program, profile it, distill it, and run it
+//! both sequentially and under MSSP — verifying they agree and comparing
+//! cycle counts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mssp::prelude::*;
+
+fn main() {
+    // A small program: sum of i*i for i in 1..=50_000, with an
+    // error-check the distiller will assert away.
+    let program = assemble(
+        "main:   addi s0, zero, 0        ; i
+                 li   s2, 50000          ; n
+         loop:   addi s0, s0, 1
+                 mul  t0, s0, s0
+                 ; overflow guard: never fires for this n
+                 li   t1, 0x7FFFFFFFFFFFFFFF
+                 bgtu t0, t1, overflow
+                 add  s1, s1, t0         ; checksum
+                 blt  s0, s2, loop
+                 halt
+         overflow:
+                 addi s1, zero, -1
+                 halt",
+    )
+    .expect("assembles");
+
+    // 1. Sequential reference run.
+    let mut seq = SeqMachine::boot(&program);
+    seq.run(u64::MAX).expect("runs");
+    println!(
+        "sequential: {} instructions, checksum {}",
+        seq.instructions(),
+        seq.state().reg(Reg::S1)
+    );
+
+    // 2. Profile-guided distillation.
+    let profile = Profile::collect(&program, u64::MAX).expect("profiles");
+    let distilled = distill(&program, &profile, &DistillConfig::default()).expect("distills");
+    println!(
+        "distilled:  {} -> {} static instructions ({} branches asserted, {} DCE'd)",
+        distilled.stats().original_static,
+        distilled.stats().distilled_static,
+        distilled.stats().asserted_branches,
+        distilled.stats().dce_removed,
+    );
+
+    // 3. MSSP timing run vs. single-core baseline.
+    let tcfg = TimingConfig::default();
+    let baseline = run_baseline(&program, &tcfg, u64::MAX).expect("baseline");
+    let mssp = run_mssp(&program, &distilled, &tcfg).expect("mssp");
+
+    assert_eq!(
+        baseline.state.reg(Reg::S1),
+        mssp.run.state.reg(Reg::S1),
+        "MSSP must match sequential execution exactly"
+    );
+    println!(
+        "baseline:   {} cycles (CPI {:.2})",
+        baseline.cycles,
+        baseline.cpi()
+    );
+    println!(
+        "mssp:       {} cycles with {} slaves -> speedup {:.3}",
+        mssp.run.cycles,
+        tcfg.engine.num_slaves,
+        speedup(baseline.cycles, mssp.run.cycles)
+    );
+    println!(
+        "            {} tasks committed, {} squash events",
+        mssp.run.stats.committed_tasks,
+        mssp.run.stats.squash_events()
+    );
+}

@@ -1,0 +1,54 @@
+//! Scaling study: one workload across slave counts and task sizes,
+//! printing a small grid — a condensed interactive version of experiments
+//! F4 and F5.
+//!
+//! Run with: `cargo run --release --example scaling_study [workload]`
+
+use mssp::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex_like".into());
+    let w = Workload::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in workloads() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    });
+    let program = w.program(w.default_scale / 2);
+    let profile = Profile::collect(&program, u64::MAX).expect("profiles");
+    let tref = TimingConfig::default();
+    let baseline = run_baseline(&program, &tref, u64::MAX).expect("baseline");
+    println!(
+        "{}: baseline {} cycles (CPI {:.2})\n",
+        w.name,
+        baseline.cycles,
+        baseline.cpi()
+    );
+
+    print!("{:>10}", "task size");
+    for slaves in [1usize, 3, 7, 15] {
+        print!("{:>10}", format!("{}+1c", slaves));
+    }
+    println!();
+    for task_size in [50u64, 200, 800, 3200] {
+        let dcfg = DistillConfig {
+            target_task_size: task_size,
+            ..DistillConfig::default()
+        };
+        let d = distill(&program, &profile, &dcfg).expect("distills");
+        print!("{task_size:>10}");
+        for slaves in [1usize, 3, 7, 15] {
+            let mut tcfg = TimingConfig::default();
+            tcfg.engine.num_slaves = slaves;
+            let run = run_mssp(&program, &d, &tcfg).expect("runs");
+            assert_eq!(
+                run.run.state.reg(CHECKSUM_REG),
+                baseline.state.reg(CHECKSUM_REG)
+            );
+            print!("{:>10.3}", speedup(baseline.cycles, run.run.cycles));
+        }
+        println!();
+    }
+    println!("\n(each cell: speedup over the single-core baseline)");
+}

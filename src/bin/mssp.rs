@@ -1,0 +1,183 @@
+//! The `mssp` command-line tool: assemble, inspect, profile, distill and
+//! execute programs for the MSSP ISA from the shell.
+//!
+//! ```text
+//! mssp workloads                         list bundled benchmarks
+//! mssp asm <file.s>                      assemble + disassemble a source file
+//! mssp run <file.s|workload> [scale]     sequential execution
+//! mssp profile <file.s|workload>         dynamic profile summary
+//! mssp distill <file.s|workload>         show distillation at all levels
+//! mssp exec <file.s|workload> [slaves]   full MSSP timing run vs baseline
+//! ```
+
+use std::process::ExitCode;
+
+use mssp::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(),
+        Some("asm") => with_arg(&args, cmd_asm),
+        Some("run") => with_arg(&args, |t| cmd_run(t, scale_arg(&args))),
+        Some("profile") => with_arg(&args, cmd_profile),
+        Some("distill") => with_arg(&args, cmd_distill),
+        Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
+        _ => {
+            eprintln!(
+                "usage: mssp <workloads|asm|run|profile|distill|exec> [target] [n]\n\
+                 target: an .s file or a bundled workload name"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_arg(args: &[String], f: impl FnOnce(&str) -> Result<(), String>) -> Result<(), String> {
+    match args.get(1) {
+        Some(target) => f(target),
+        None => Err("missing target argument".into()),
+    }
+}
+
+fn scale_arg(args: &[String]) -> Option<u64> {
+    args.get(2).and_then(|s| s.parse().ok())
+}
+
+/// Loads a program from an assembly file or a bundled workload name.
+fn load(target: &str, scale: Option<u64>) -> Result<Program, String> {
+    if let Some(w) = Workload::by_name(target) {
+        return Ok(w.program(scale.unwrap_or(w.default_scale)));
+    }
+    let src = std::fs::read_to_string(target)
+        .map_err(|e| format!("cannot read `{target}`: {e} (and no workload has that name)"))?;
+    assemble(&src).map_err(|errs| {
+        errs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("{:<14} {:<12} {:>10}  description", "name", "analog", "scale");
+    for w in workloads() {
+        println!(
+            "{:<14} {:<12} {:>10}  {}",
+            w.name, w.analog, w.default_scale, w.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_asm(target: &str) -> Result<(), String> {
+    let p = load(target, None)?;
+    println!(
+        "; {} instructions, entry {:#x}, data {} bytes at {:#x}",
+        p.len(),
+        p.entry(),
+        p.data().len(),
+        p.data_base()
+    );
+    print!("{}", p.disassemble());
+    Ok(())
+}
+
+fn cmd_run(target: &str, scale: Option<u64>) -> Result<(), String> {
+    let p = load(target, scale)?;
+    let mut m = SeqMachine::boot(&p);
+    let summary = m.run(u64::MAX).map_err(|e| e.to_string())?;
+    println!("instructions: {}", summary.instructions);
+    println!("checksum(s1): {:#x}", m.state().reg(Reg::S1));
+    println!("final pc:     {:#x}", m.state().pc());
+    Ok(())
+}
+
+fn cmd_profile(target: &str) -> Result<(), String> {
+    let p = load(target, None)?;
+    let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
+    let n = prof.dynamic_instructions();
+    println!("dynamic instructions: {n}");
+    println!(
+        "loads/stores/branches: {} / {} / {}",
+        prof.loads(),
+        prof.stores(),
+        prof.dynamic_branches()
+    );
+    println!(
+        "weighted branch bias: {:.4}",
+        prof.weighted_branch_bias().unwrap_or(0.0)
+    );
+    let mut branches: Vec<_> = prof.iter_branches().collect();
+    branches.sort_by_key(|(_, c)| std::cmp::Reverse(c.total()));
+    println!("hottest branches:");
+    for (pc, c) in branches.iter().take(10) {
+        println!(
+            "  {:#08x}: {:>9} execs, bias {:.4} ({})",
+            pc,
+            c.total(),
+            c.bias().unwrap_or(0.0),
+            if c.mostly_taken() { "taken" } else { "not taken" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_distill(target: &str) -> Result<(), String> {
+    let p = load(target, None)?;
+    let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
+    for level in DistillLevel::all() {
+        let d = distill(&p, &prof, &DistillConfig::at_level(level)).map_err(|e| e.to_string())?;
+        let s = d.stats();
+        println!(
+            "{level:<13} static {:>4} -> {:>4} | asserted {:>2} | blocks -{:>2} | dce {:>3} | stores -{:>2} | boundaries {} x{}",
+            s.original_static,
+            s.distilled_static,
+            s.asserted_branches,
+            s.removed_blocks,
+            s.dce_removed,
+            s.stores_elided,
+            d.boundaries().len(),
+            d.crossings_per_task(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_exec(target: &str, slaves: Option<u64>) -> Result<(), String> {
+    let p = load(target, None)?;
+    let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
+    let d = distill(&p, &prof, &DistillConfig::default()).map_err(|e| e.to_string())?;
+    let mut cfg = TimingConfig::default();
+    if let Some(s) = slaves {
+        cfg.engine.num_slaves = s.max(1) as usize;
+    }
+    let base = run_baseline(&p, &cfg, u64::MAX).map_err(|e| e.to_string())?;
+    let mssp = run_mssp(&p, &d, &cfg).map_err(|e| e.to_string())?;
+    if base.state.reg(Reg::S1) != mssp.run.state.reg(Reg::S1) {
+        return Err("checksum mismatch — correctness bug".into());
+    }
+    let s = &mssp.run.stats;
+    println!("baseline: {:>12} cycles (CPI {:.2})", base.cycles, base.cpi());
+    println!(
+        "mssp:     {:>12} cycles with {} slaves  -> speedup {:.3}",
+        mssp.run.cycles,
+        cfg.engine.num_slaves,
+        speedup(base.cycles, mssp.run.cycles)
+    );
+    println!(
+        "tasks: {} spawned, {} committed, {} squash events, {:.1}% recovery",
+        s.spawned_tasks,
+        s.committed_tasks,
+        s.squash_events(),
+        100.0 * s.recovery_fraction()
+    );
+    Ok(())
+}

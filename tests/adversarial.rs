@@ -1,0 +1,105 @@
+//! Adversarial-master fuzzing: the committed architected state must be
+//! independent of the master program — arbitrary code, arbitrary boundary
+//! maps, arbitrary boundary sets. This is the paper's decoupling theorem
+//! under fire: the fast path can be *anything* and only performance moves.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mssp::prelude::*;
+use proptest::prelude::*;
+
+fn reference() -> (Program, u64, u64) {
+    let p = assemble(
+        "main:  addi s0, zero, 300
+                li   s2, 0x280000
+         loop:  add  s1, s1, s0
+                sd   s1, 0(s2)
+                addi s2, s2, 8
+                andi t0, s0, 3
+                beqz t0, bump
+         back:  addi s0, s0, -1
+                bnez s0, loop
+                halt
+         bump:  addi s1, s1, 11
+                j    back",
+    )
+    .unwrap();
+    let mut m = SeqMachine::boot(&p);
+    m.run(u64::MAX).unwrap();
+    let s1 = m.state().reg(Reg::S1);
+    let loop_pc = p.symbol("loop").unwrap();
+    (p, s1, loop_pc)
+}
+
+/// A random "master" program: arbitrary ALU/branch soup ending in a
+/// spin loop (so it keeps producing garbage predictions forever).
+fn arb_master() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u8..5, 0u8..8, -500i64..500), 1..16).prop_map(|ops| {
+        let mut src = String::from("main:\n");
+        for (i, (op, reg, imm)) in ops.iter().enumerate() {
+            let r = reg + 4;
+            match op {
+                0 => src.push_str(&format!("  addi r{r}, r{r}, {imm}\n")),
+                1 => src.push_str(&format!("  xor  r{r}, r{r}, r{}\n", (reg + 1) % 8 + 4)),
+                2 => src.push_str(&format!("  li   t0, {}\n  sd   r{r}, 0(t0)\n", 0x280000 + (imm.unsigned_abs() % 512) * 8)),
+                3 => src.push_str(&format!("  mul  r{r}, r{r}, r{}\n", (reg + 3) % 8 + 4)),
+                _ => src.push_str(&format!(
+                    "  andi t1, r{r}, 7\n  beqz t1, sk{i}\n  addi r{r}, r{r}, 1\nsk{i}:\n"
+                )),
+            }
+        }
+        src.push_str("spin: addi a7, a7, 1\n  j spin\n");
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn any_master_any_boundaries_commits_correct_state(
+        master_src in arb_master(),
+        map_loop in any::<bool>(),
+        slaves in 1usize..6,
+    ) {
+        let (p, expected, loop_pc) = reference();
+        let master = assemble(&master_src).expect("master assembles");
+        let mut map = BTreeMap::new();
+        map.insert(p.entry(), master.entry());
+        let mut boundaries = BTreeSet::from([loop_pc]);
+        if map_loop {
+            // Map the boundary into the master's spin loop so it spawns
+            // garbage tasks forever.
+            map.insert(loop_pc, master.symbol("spin").expect("label"));
+        } else {
+            // Master never spawns at the boundary; starvation recovery
+            // must carry the program.
+            boundaries.insert(p.symbol("back").expect("label"));
+        }
+        let d = Distilled::from_parts(master, boundaries, map);
+        let cfg = EngineConfig { num_slaves: slaves, ..EngineConfig::default() };
+        let run = Engine::new(&p, &d, cfg, UnitCost).run().expect("terminates");
+        prop_assert_eq!(run.state.reg(Reg::S1), expected);
+    }
+
+    #[test]
+    fn random_boundary_sets_are_harmless(
+        extra in proptest::collection::btree_set(0u64..200, 0..12),
+        n in 1u64..32,
+    ) {
+        let (p, expected, loop_pc) = reference();
+        // Random boundary PCs across the text (some valid, some mid-block).
+        let mut boundaries: BTreeSet<u64> =
+            extra.into_iter().map(|i| p.text_base() + i * 4).collect();
+        boundaries.insert(loop_pc);
+        let dead = assemble("main: halt").unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(p.entry(), dead.entry());
+        let d = Distilled::from_parts(dead, boundaries, map)
+            .with_crossings_per_task(n);
+        let run = Engine::new(&p, &d, EngineConfig::default(), UnitCost)
+            .run()
+            .expect("terminates");
+        prop_assert_eq!(run.state.reg(Reg::S1), expected);
+    }
+}

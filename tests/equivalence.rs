@@ -1,0 +1,112 @@
+//! End-to-end equivalence: for every workload and every distillation
+//! level, the MSSP machine's committed architected state must equal the
+//! sequential machine's — the jumping-refinement theorem, executed.
+
+use mssp::prelude::*;
+
+fn seq_checksum(program: &Program) -> (u64, u64) {
+    let mut m = SeqMachine::boot(program);
+    m.run(u64::MAX).expect("workloads do not fault");
+    (m.state().reg(CHECKSUM_REG), m.instructions())
+}
+
+#[test]
+fn all_workloads_all_levels_match_sequential() {
+    for w in workloads() {
+        let program = w.program(1_500);
+        let (expected, seq_instrs) = seq_checksum(&program);
+        let profile = Profile::collect(&program, u64::MAX).unwrap();
+        for level in DistillLevel::all() {
+            let d = distill(&program, &profile, &DistillConfig::at_level(level)).unwrap();
+            let run = Engine::new(&program, &d, EngineConfig::default(), UnitCost)
+                .run()
+                .unwrap_or_else(|e| panic!("{} @{level}: {e}", w.name));
+            assert_eq!(
+                run.state.reg(CHECKSUM_REG),
+                expected,
+                "{} @{level}: wrong checksum",
+                w.name
+            );
+            assert_eq!(
+                run.stats.committed_instructions, seq_instrs,
+                "{} @{level}: committed instruction count diverges",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn slave_count_never_affects_results() {
+    for w in workloads() {
+        let program = w.program(800);
+        let (expected, _) = seq_checksum(&program);
+        let profile = Profile::collect(&program, u64::MAX).unwrap();
+        let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
+        for slaves in [1, 2, 3, 8, 16] {
+            let cfg = EngineConfig {
+                num_slaves: slaves,
+                ..EngineConfig::default()
+            };
+            let run = Engine::new(&program, &d, cfg, UnitCost).run().unwrap();
+            assert_eq!(
+                run.state.reg(CHECKSUM_REG),
+                expected,
+                "{} with {slaves} slaves",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn timing_model_never_affects_results() {
+    for w in workloads() {
+        let program = w.program(800);
+        let (expected, _) = seq_checksum(&program);
+        let profile = Profile::collect(&program, u64::MAX).unwrap();
+        let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
+        let timed = run_mssp(&program, &d, &TimingConfig::default()).unwrap();
+        assert_eq!(
+            timed.run.state.reg(CHECKSUM_REG),
+            expected,
+            "{} under detailed timing",
+            w.name
+        );
+        let functional = Engine::new(&program, &d, EngineConfig::default(), UnitCost)
+            .run()
+            .unwrap();
+        // Cost-model independence of committed state, bit for bit.
+        assert_eq!(
+            functional.state.reg(CHECKSUM_REG),
+            timed.run.state.reg(CHECKSUM_REG),
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn task_size_never_affects_results() {
+    for w in workloads().iter().take(4) {
+        let program = w.program(800);
+        let (expected, _) = seq_checksum(&program);
+        let profile = Profile::collect(&program, u64::MAX).unwrap();
+        for target in [16, 64, 512, 4096] {
+            let dcfg = DistillConfig {
+                target_task_size: target,
+                ..DistillConfig::default()
+            };
+            let d = distill(&program, &profile, &dcfg).unwrap();
+            let run = Engine::new(&program, &d, EngineConfig::default(), UnitCost)
+                .run()
+                .unwrap();
+            assert_eq!(
+                run.state.reg(CHECKSUM_REG),
+                expected,
+                "{} at task size {target}",
+                w.name
+            );
+        }
+    }
+}

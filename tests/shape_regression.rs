@@ -1,0 +1,85 @@
+//! Performance-shape regression tests: the qualitative results that make
+//! this a reproduction of the MICRO-2002 evaluation must keep holding.
+//! Bands are intentionally loose — they pin the *shape* (who wins, what
+//! direction a knob moves), not exact numbers.
+
+use mssp::prelude::*;
+use mssp::timing::run_mssp as timed_mssp;
+
+fn measure(name: &str, level: DistillLevel) -> (f64, f64, u64) {
+    let w = Workload::by_name(name).unwrap();
+    let program = w.program(w.default_scale / 2);
+    let profile = Profile::collect(&program, u64::MAX).unwrap();
+    let d = distill(&program, &profile, &DistillConfig::at_level(level)).unwrap();
+    let tcfg = TimingConfig::default();
+    let base = run_baseline(&program, &tcfg, u64::MAX).unwrap();
+    let mssp = timed_mssp(&program, &d, &tcfg).unwrap();
+    let s = &mssp.run.stats;
+    let ratio = s.master_instructions as f64 / s.committed_instructions as f64;
+    (speedup(base.cycles, mssp.run.cycles), ratio, s.squash_events())
+}
+
+#[test]
+fn distillable_workloads_beat_baseline() {
+    for name in ["gap_like", "vortex_like", "crafty_like", "gzip_like", "bzip2_like"] {
+        let (speed, _, _) = measure(name, DistillLevel::Aggressive);
+        assert!(speed > 1.05, "{name}: speedup {speed:.3} regressed below 1.05");
+    }
+}
+
+#[test]
+fn gap_like_is_the_best_case_near_paper_max() {
+    let (speed, ratio, _) = measure("gap_like", DistillLevel::Aggressive);
+    assert!(speed > 1.4, "gap speedup {speed:.3}");
+    assert!(ratio < 0.7, "gap distilled ratio {ratio:.3} should be strong");
+}
+
+#[test]
+fn undistillable_workloads_hover_near_one() {
+    for name in ["mcf_like", "perlbmk_like"] {
+        let (speed, ratio, _) = measure(name, DistillLevel::Aggressive);
+        assert!(
+            (0.85..1.15).contains(&speed),
+            "{name}: {speed:.3} should be ~1.0 (nothing to distill)"
+        );
+        assert!(ratio > 0.9, "{name}: ratio {ratio:.3} should stay near 1");
+    }
+}
+
+#[test]
+fn aggressiveness_monotonically_helps_on_distillable_code() {
+    let (none, _, sq_none) = measure("gap_like", DistillLevel::None);
+    let (cons, _, _) = measure("gap_like", DistillLevel::Conservative);
+    let (aggr, _, _) = measure("gap_like", DistillLevel::Aggressive);
+    assert!(cons >= none * 0.98, "conservative {cons:.3} < none {none:.3}");
+    assert!(aggr > cons, "aggressive {aggr:.3} <= conservative {cons:.3}");
+    assert_eq!(sq_none, 0, "the identity master must never misspeculate");
+}
+
+#[test]
+fn squash_rates_stay_negligible() {
+    for w in workloads() {
+        let (_, _, squashes) = measure(w.name, DistillLevel::Aggressive);
+        assert!(squashes <= 10, "{}: {squashes} squash events", w.name);
+    }
+}
+
+#[test]
+fn more_slaves_never_hurt_much_and_help_somewhere() {
+    let w = Workload::by_name("gap_like").unwrap();
+    let program = w.program(w.default_scale / 2);
+    let profile = Profile::collect(&program, u64::MAX).unwrap();
+    let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
+    let run_with = |slaves: usize| {
+        let mut tcfg = TimingConfig::default();
+        tcfg.engine.num_slaves = slaves;
+        let base = run_baseline(&program, &tcfg, u64::MAX).unwrap();
+        let m = timed_mssp(&program, &d, &tcfg).unwrap();
+        speedup(base.cycles, m.run.cycles)
+    };
+    let one = run_with(1);
+    let seven = run_with(7);
+    let fifteen = run_with(15);
+    assert!(seven > one, "scaling broken: 7 slaves {seven:.3} <= 1 slave {one:.3}");
+    assert!(fifteen >= seven * 0.95, "16 cores should not collapse");
+}
