@@ -102,7 +102,10 @@ impl Cfg {
     /// (guaranteed not to happen for [`Program`]s built by the assembler).
     #[must_use]
     pub fn build(program: &Program) -> Cfg {
-        assert!(!program.is_empty(), "cannot build a CFG of an empty program");
+        assert!(
+            !program.is_empty(),
+            "cannot build a CFG of an empty program"
+        );
 
         // 1. Find leaders.
         let mut leaders: BTreeSet<u64> = BTreeSet::new();

@@ -196,7 +196,12 @@ fn block_exit_liveness(cfg: &Cfg, bid: BlockId, block_live_in: &[RegSet]) -> Reg
 
 fn transfer_block(program: &Program, cfg: &Cfg, bid: BlockId, exit_live: RegSet) -> RegSet {
     let mut live = exit_live;
-    for pc in cfg.blocks()[bid].pcs().collect::<Vec<_>>().into_iter().rev() {
+    for pc in cfg.blocks()[bid]
+        .pcs()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         live = transfer_instr(program, pc, live);
     }
     live

@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks for the MSSP substrate: the hot operations
-//! of the verify/commit path (superimposition, consistency), the
-//! interpreter, the µarch models, the distiller, and a small end-to-end
-//! MSSP run.
+//! Micro-benchmarks for the MSSP substrate: the hot operations of the
+//! verify/commit path (superimposition, consistency), the interpreter,
+//! the µarch models, the distiller, and a small end-to-end MSSP run.
+//!
+//! A self-contained harness (`harness = false`; the build environment
+//! has no crate registry, so `criterion` is unavailable): each benchmark
+//! is auto-calibrated to ~50ms of work and reports mean ns/iter over the
+//! best of three measurement rounds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
 
 use mssp_analysis::Profile;
 use mssp_core::{Engine, EngineConfig, UnitCost};
@@ -14,36 +18,61 @@ use mssp_sim::{Cache, CacheConfig, Gshare, GshareConfig};
 use mssp_timing::{run_mssp, TimingConfig};
 use mssp_workloads::Workload;
 
-fn delta_of(n: u64, salt: u64) -> Delta {
-    (0..n).map(|i| (Cell::Mem(i * 3 + salt), i ^ salt)).collect()
+/// Times `body` (called once per iteration), printing mean ns/iter of the
+/// best of three rounds, each round sized to take roughly 50ms.
+fn bench<T>(name: &str, mut body: impl FnMut() -> T) {
+    // Calibrate: grow the iteration count until a round takes >= 10ms.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= Duration::from_millis(10) {
+            let target = Duration::from_millis(50).as_nanos();
+            let per = (elapsed.as_nanos() / u128::from(iters)).max(1);
+            iters = u64::try_from(target / per).unwrap_or(u64::MAX).max(1);
+            break;
+        }
+        iters = iters.saturating_mul(8);
+    }
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        best = best.min(t.elapsed().as_nanos() / u128::from(iters));
+    }
+    println!("{name:<28} {best:>12} ns/iter  ({iters} iters/round)");
 }
 
-fn bench_delta(c: &mut Criterion) {
+fn delta_of(n: u64, salt: u64) -> Delta {
+    (0..n)
+        .map(|i| (Cell::Mem(i * 3 + salt), i ^ salt))
+        .collect()
+}
+
+fn bench_delta() {
     let a = delta_of(64, 0);
     let b = delta_of(64, 1);
-    c.bench_function("delta/superimpose_64", |bench| {
-        bench.iter(|| std::hint::black_box(a.superimpose(&b)))
-    });
+    bench("delta/superimpose_64", || a.superimpose(&b));
 
     let mut state = MachineState::new();
     state.apply(&a);
-    c.bench_function("delta/verify_64_live_ins", |bench| {
-        bench.iter(|| std::hint::black_box(a.consistent_with_state(&state)))
+    bench("delta/verify_64_live_ins", || {
+        a.consistent_with_state(&state)
     });
 
-    c.bench_function("delta/commit_64_live_outs", |bench| {
-        bench.iter_batched(
-            || state.clone(),
-            |mut s| {
-                s.apply(&b);
-                std::hint::black_box(s.pc())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("delta/commit_64_live_outs", || {
+        let mut s = state.clone();
+        s.apply(&b);
+        s.pc()
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let p = assemble(
         "main: addi s0, zero, 1000
          loop: add  s1, s1, s0
@@ -54,78 +83,63 @@ fn bench_interpreter(c: &mut Criterion) {
                halt",
     )
     .unwrap();
-    c.bench_function("interp/5k_instructions", |bench| {
-        bench.iter(|| {
-            let mut m = SeqMachine::boot(&p);
-            m.run(u64::MAX).unwrap();
-            std::hint::black_box(m.instructions())
-        })
+    bench("interp/5k_instructions", || {
+        let mut m = SeqMachine::boot(&p);
+        m.run(u64::MAX).unwrap();
+        m.instructions()
     });
 }
 
-fn bench_uarch(c: &mut Criterion) {
-    c.bench_function("cache/1k_accesses", |bench| {
-        let mut cache = Cache::new(CacheConfig::l1_default());
-        let mut addr = 0u64;
-        bench.iter(|| {
-            let mut hits = 0u32;
-            for _ in 0..1000 {
-                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(17);
-                hits += cache.access(addr % (1 << 20)) as u32;
-            }
-            std::hint::black_box(hits)
-        })
+fn bench_uarch() {
+    let mut cache = Cache::new(CacheConfig::l1_default());
+    let mut addr = 0u64;
+    bench("cache/1k_accesses", || {
+        let mut hits = 0u32;
+        for _ in 0..1000 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(17);
+            hits += cache.access(addr % (1 << 20)) as u32;
+        }
+        hits
     });
-    c.bench_function("gshare/1k_predictions", |bench| {
-        let mut bp = Gshare::new(GshareConfig::default());
-        let mut x = 7u64;
-        bench.iter(|| {
-            let mut correct = 0u32;
-            for i in 0..1000u64 {
-                x = x.wrapping_mul(25214903917).wrapping_add(11);
-                correct += bp.predict_and_update(0x1000 + (i % 13) * 4, x & 3 != 0) as u32;
-            }
-            std::hint::black_box(correct)
-        })
+    let mut bp = Gshare::new(GshareConfig::default());
+    let mut x = 7u64;
+    bench("gshare/1k_predictions", || {
+        let mut correct = 0u32;
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(25214903917).wrapping_add(11);
+            correct += bp.predict_and_update(0x1000 + (i % 13) * 4, x & 3 != 0) as u32;
+        }
+        correct
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let w = Workload::by_name("gzip_like").unwrap();
     let program = w.program(1024);
     let profile = Profile::collect(&program, u64::MAX).unwrap();
 
-    c.bench_function("distill/gzip_1k", |bench| {
-        bench.iter(|| {
-            std::hint::black_box(
-                distill(&program, &profile, &DistillConfig::default()).unwrap(),
-            )
-        })
+    bench("distill/gzip_1k", || {
+        distill(&program, &profile, &DistillConfig::default()).unwrap()
     });
 
     let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
-    c.bench_function("engine/functional_gzip_1k", |bench| {
-        bench.iter(|| {
-            let run = Engine::new(&program, &d, EngineConfig::default(), UnitCost)
-                .run()
-                .unwrap();
-            std::hint::black_box(run.stats.committed_instructions)
-        })
+    bench("engine/functional_gzip_1k", || {
+        Engine::new(&program, &d, EngineConfig::default(), UnitCost)
+            .run()
+            .unwrap()
+            .stats
+            .committed_instructions
     });
-    c.bench_function("engine/timed_gzip_1k", |bench| {
-        let tcfg = TimingConfig::default();
-        bench.iter(|| {
-            let run = run_mssp(&program, &d, &tcfg).unwrap();
-            std::hint::black_box(run.run.cycles)
-        })
+    let tcfg = TimingConfig::default();
+    bench("engine/timed_gzip_1k", || {
+        run_mssp(&program, &d, &tcfg).unwrap().run.cycles
     });
 }
 
-criterion_group!(
-    benches,
-    bench_delta,
-    bench_interpreter,
-    bench_uarch,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    println!("mssp micro-benchmarks (mean ns/iter, best of 3 rounds)");
+    bench_delta();
+    bench_interpreter();
+    bench_uarch();
+    bench_pipeline();
+}

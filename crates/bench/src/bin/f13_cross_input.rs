@@ -26,7 +26,11 @@ fn main() {
         let cross = evaluate_cross_input(w, w.default_scale, &dcfg, &tcfg);
         table.row(vec![
             w.name.to_string(),
-            format!("{:.3} ({})", same.speedup, same.mssp.run.stats.squash_events()),
+            format!(
+                "{:.3} ({})",
+                same.speedup,
+                same.mssp.run.stats.squash_events()
+            ),
             format!(
                 "{:.3} ({})",
                 cross.speedup,

@@ -50,6 +50,12 @@ fn main() {
     println!("{}", table.render());
     println!("{}", bar_chart(&series, 48, "x"));
     println!("geometric mean speedup: {:.3}", geomean(&speedups));
-    println!("max speedup:            {:.3}", speedups.iter().copied().fold(0.0, f64::max));
-    println!("min speedup:            {:.3}", speedups.iter().copied().fold(f64::INFINITY, f64::min));
+    println!(
+        "max speedup:            {:.3}",
+        speedups.iter().copied().fold(0.0, f64::max)
+    );
+    println!(
+        "min speedup:            {:.3}",
+        speedups.iter().copied().fold(f64::INFINITY, f64::min)
+    );
 }

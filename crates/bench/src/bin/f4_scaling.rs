@@ -1,8 +1,18 @@
 //! F4 — speedup vs. processor count: MSSP with 1, 2, 3, 7 and 15 slaves
 //! (2, 3, 4, 8 and 16 cores including the master). The paper's scaling
 //! saturates once the master becomes the critical path.
+//!
+//! A second section measures the *threaded* executor (real OS-thread
+//! slaves, checkpoint-snapshot live-ins) at 1, 2, 4 and 8 workers:
+//! wall-clock per run plus the scaling ratio vs. one worker, written to
+//! `results/f4_scaling_threaded.txt` so the lock-free worker loop's
+//! behaviour is tracked alongside the discrete-model numbers.
 
-use mssp_bench::{evaluate, harness_scale, print_header};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mssp_bench::{evaluate, harness_scale, prepare, print_header};
+use mssp_core::{run_threaded, EngineConfig};
 use mssp_distill::DistillConfig;
 use mssp_stats::{geomean, Table};
 use mssp_timing::TimingConfig;
@@ -37,4 +47,72 @@ fn main() {
     }
     table.row(geo_row);
     println!("{}", table.render());
+
+    let threaded = threaded_section();
+    println!("{threaded}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/f4_scaling_threaded.txt", &threaded)
+        .expect("write threaded scaling results");
 }
+
+/// Wall-clock scaling of the threaded executor at 1/2/4/8 workers.
+fn threaded_section() -> String {
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== F4t: Threaded executor wall-clock vs. worker count ==\n   \
+         ms per run (best of {BEST_OF}); xN = time(1 worker) / time(N workers)\n"
+    );
+    let mut headers = vec!["benchmark".to_string()];
+    for &n in &worker_counts {
+        headers.push(format!("{n}w ms"));
+    }
+    for &n in &worker_counts[1..] {
+        headers.push(format!("x{n}"));
+    }
+    let mut table = Table::new(headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); worker_counts.len() - 1];
+    for w in workloads() {
+        let program = w.program(harness_scale(w, 2));
+        let (distilled, _) = prepare(&program, &DistillConfig::default());
+        let times: Vec<Duration> = worker_counts
+            .iter()
+            .map(|&workers| {
+                let cfg = EngineConfig {
+                    num_slaves: workers,
+                    ..EngineConfig::default()
+                };
+                (0..BEST_OF)
+                    .map(|_| {
+                        run_threaded(&program, &distilled, cfg)
+                            .expect("threaded run succeeds")
+                            .elapsed
+                    })
+                    .min()
+                    .expect("BEST_OF > 0")
+            })
+            .collect();
+        let mut row = vec![w.name.to_string()];
+        for t in &times {
+            row.push(format!("{:.2}", t.as_secs_f64() * 1e3));
+        }
+        for (i, t) in times[1..].iter().enumerate() {
+            let ratio = times[0].as_secs_f64() / t.as_secs_f64().max(1e-9);
+            ratios[i].push(ratio);
+            row.push(format!("{ratio:.2}"));
+        }
+        table.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    geo_row.extend(std::iter::repeat_n(String::new(), worker_counts.len()));
+    for col in &ratios {
+        geo_row.push(format!("{:.2}", geomean(col)));
+    }
+    table.row(geo_row);
+    let _ = writeln!(out, "{}", table.render());
+    out
+}
+
+/// Runs per configuration; wall-clock is noisy, keep the best.
+const BEST_OF: usize = 3;

@@ -37,8 +37,7 @@ fn main() {
             speeds.push(e.speedup);
             if name == "gzip_like" {
                 let s = &e.mssp.run.stats;
-                gzip_squash =
-                    1000.0 * s.squash_events() as f64 / s.spawned_tasks.max(1) as f64;
+                gzip_squash = 1000.0 * s.squash_events() as f64 / s.spawned_tasks.max(1) as f64;
             }
         }
         row.push(format!("{:.3}", geomean(&speeds)));

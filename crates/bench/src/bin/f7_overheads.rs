@@ -39,7 +39,10 @@ fn main() {
         table.row(vec![
             format!("{f}x"),
             format!("{:.3}", geomean(&speeds)),
-            format!("{:.3}", speeds.iter().copied().fold(f64::INFINITY, f64::min)),
+            format!(
+                "{:.3}",
+                speeds.iter().copied().fold(f64::INFINITY, f64::min)
+            ),
             format!("{:.3}", speeds.iter().copied().fold(0.0, f64::max)),
         ]);
     }

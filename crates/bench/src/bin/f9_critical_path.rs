@@ -31,7 +31,10 @@ fn main() {
         table.row(vec![
             w.name.to_string(),
             format!("{:.1}", 100.0 * s.master_busy_cycles as f64 / total),
-            format!("{:.1}", 100.0 * s.slave_busy_cycles as f64 / (total * slaves)),
+            format!(
+                "{:.1}",
+                100.0 * s.slave_busy_cycles as f64 / (total * slaves)
+            ),
             format!("{:.1}", 100.0 * s.verify_busy_cycles as f64 / total),
             format!("{:.1}", 100.0 * s.recovery_busy_cycles as f64 / total),
         ]);

@@ -6,13 +6,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use mssp_analysis::Profile;
 use mssp_bench::print_header;
 use mssp_core::{Engine, EngineConfig, UnitCost};
 use mssp_distill::{distill, DistillConfig, Distilled};
 use mssp_isa::asm::assemble;
 use mssp_isa::Reg;
 use mssp_machine::{cumulative_writes, seq_n, Cell, Delta, MachineState, SeqMachine};
-use mssp_analysis::Profile;
 use mssp_stats::Table;
 use mssp_workloads::{workloads, CHECKSUM_REG};
 
@@ -77,8 +77,7 @@ fn main() {
         let s1 = random_delta(&mut rng2, 5);
         let s2 = s1.superimpose(&random_delta(&mut rng2, 5)).superimpose(&s1);
         let s3 = random_delta(&mut rng2, 5);
-        !s1.consistent_with(&s2)
-            || s1.superimpose(&s3).consistent_with(&s2.superimpose(&s3))
+        !s1.consistent_with(&s2) || s1.superimpose(&s3).consistent_with(&s2.superimpose(&s3))
     });
     check("containment under superimposition", trials, ok);
 
@@ -89,7 +88,7 @@ fn main() {
         // Build a sub-delta.
         let s2: Delta = s1
             .iter()
-            .filter(|_| rng3.next() % 2 == 0)
+            .filter(|_| rng3.next().is_multiple_of(2))
             .collect::<Vec<_>>()
             .into_iter()
             .collect();
@@ -170,11 +169,7 @@ fn main() {
         let mut map = BTreeMap::new();
         map.insert(p.entry(), garbage.entry());
         map.insert(p.entry() + 4, garbage.symbol("evil").expect("label"));
-        let d = Distilled::from_parts(
-            garbage,
-            BTreeSet::from([p.entry() + 4]),
-            map,
-        );
+        let d = Distilled::from_parts(garbage, BTreeSet::from([p.entry() + 4]), map);
         let run = Engine::new(&p, &d, EngineConfig::default(), UnitCost)
             .run()
             .expect("always terminates correctly");

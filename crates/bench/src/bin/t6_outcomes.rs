@@ -48,13 +48,20 @@ fn main() {
         table.row(vec![
             w.name.to_string(),
             s.spawned_tasks.to_string(),
-            format!("{:.1}", 100.0 * s.committed_tasks as f64 / s.spawned_tasks.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * s.committed_tasks as f64 / s.spawned_tasks.max(1) as f64
+            ),
             format!("{:.1}", per1k(s.squashes_wrong_path)),
             format!("{:.1}", per1k(s.squashes_live_in)),
             format!("{:.1}", per1k(s.squashes_overrun)),
             format!("{:.1}", per1k(s.squashes_fault)),
             format!("{:.1}", avg(s.live_in_cells)),
-            format!("{:.1}/{:.1}", avg(s.live_in_reg_cells), avg(s.live_in_mem_cells)),
+            format!(
+                "{:.1}/{:.1}",
+                avg(s.live_in_reg_cells),
+                avg(s.live_in_mem_cells)
+            ),
             format!("{:.1}", avg(s.live_out_cells)),
             format!("{:.1}", 100.0 * s.recovery_fraction()),
         ]);

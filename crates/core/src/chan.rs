@@ -1,0 +1,224 @@
+//! A small std-only MPMC channel (`Mutex<VecDeque>` + `Condvar`).
+//!
+//! The threaded executor needs exactly two queues: coordinator → workers
+//! (work items, competitively consumed) and workers → coordinator
+//! (results). The container this repository builds in has no crate
+//! registry, so instead of `crossbeam` we use this ~100-line channel with
+//! the same close semantics: `recv` drains remaining messages after all
+//! senders drop, then reports disconnection; `send` fails once every
+//! receiver is gone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; clone freely across threads.
+pub(crate) struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone freely across threads (each message is
+/// delivered to exactly one receiver).
+pub(crate) struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryRecvError {
+    /// The queue is momentarily empty but senders remain.
+    Empty,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Creates a connected channel pair.
+pub(crate) fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; returns it back as `Err` if every receiver is
+    /// gone (the message would never be seen).
+    pub(crate) fn send(&self, value: T) -> Result<(), T> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(value);
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            // Wake blocked receivers so they observe disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next message; `Err(())` once the channel is empty
+    /// and all senders have been dropped.
+    pub(crate) fn recv(&self) -> Result<T, ()> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(());
+            }
+            inner = self.shared.ready.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking receive.
+    pub(crate) fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if let Some(value) = inner.queue.pop_front() {
+            Ok(value)
+        } else if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_fifo_order() {
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_drains_then_reports_disconnect() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(()));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_empty_while_senders_alive() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn competitive_consumption_across_threads() {
+        let (tx, rx) = channel();
+        let n = 1000u64;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for i in 1..=n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_send() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(42));
+    }
+}

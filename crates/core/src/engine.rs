@@ -31,14 +31,13 @@ use std::collections::VecDeque;
 use mssp_distill::Distilled;
 use mssp_isa::Program;
 use mssp_machine::{step, Delta, Fault, MachineState};
-use serde::{Deserialize, Serialize};
 
 use crate::master::{Master, MasterStall};
 use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus};
 use crate::{CoreRole, CostModel};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of slave processors (the paper's CMP had one master plus
     /// slaves; 8 cores total is the reference configuration).
@@ -100,8 +99,54 @@ pub enum SquashReason {
     Fault,
 }
 
+/// The outcome of presenting the oldest finished task to the verify
+/// unit — see [`verify_and_commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The task passed the memoization test: its writes were superimposed
+    /// onto architected state and the PC advanced to `end_pc`.
+    Commit {
+        /// PC the architected state advanced to (the task's end PC).
+        end_pc: u64,
+        /// Whether the committed task executed `halt`.
+        halted: bool,
+    },
+    /// The task failed verification; architected state is untouched.
+    Squash(SquashReason),
+}
+
+/// The paper's verify/commit step, shared by the discrete-time [`Engine`]
+/// and the threaded executor so the two stay behaviorally identical.
+///
+/// The oldest task commits iff it started at the architected PC, ended at
+/// a boundary or `halt`, and every recorded live-in matches architected
+/// state (the memoization test). On success the task's writes are applied
+/// as one superimposition and the PC advances; on any failure `arch` is
+/// left untouched and the caller must squash all younger tasks and run
+/// recovery.
+pub fn verify_and_commit(arch: &mut MachineState, task: &Task, end: TaskEnd) -> VerifyOutcome {
+    if task.start_pc != arch.pc() {
+        return VerifyOutcome::Squash(SquashReason::WrongPath);
+    }
+    match end {
+        TaskEnd::Overrun => VerifyOutcome::Squash(SquashReason::Overrun),
+        TaskEnd::Fault => VerifyOutcome::Squash(SquashReason::Fault),
+        TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc) => {
+            if !task.live_ins.consistent_with_state(arch) {
+                return VerifyOutcome::Squash(SquashReason::LiveInMismatch);
+            }
+            arch.apply(&task.writes);
+            arch.set_pc(end_pc);
+            VerifyOutcome::Commit {
+                end_pc,
+                halted: matches!(end, TaskEnd::Halted(_)),
+            }
+        }
+    }
+}
+
 /// Aggregate statistics of one MSSP run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Tasks spawned by the master.
     pub spawned_tasks: u64,
@@ -166,7 +211,9 @@ impl EngineStats {
     /// Total squash events.
     #[must_use]
     pub fn squash_events(&self) -> u64 {
-        self.squashes_wrong_path + self.squashes_live_in + self.squashes_overrun
+        self.squashes_wrong_path
+            + self.squashes_live_in
+            + self.squashes_overrun
             + self.squashes_fault
     }
 
@@ -468,8 +515,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
             writes: &mut rec.writes,
             arch: &self.arch,
         };
-        let info = step(&mut storage, self.original, pc)
-            .map_err(EngineError::RecoveryFault)?;
+        let info = step(&mut storage, self.original, pc).map_err(EngineError::RecoveryFault)?;
         let cost = self.cost.instr_cost(CoreRole::Recovery(0), &info).max(1);
         rec.busy_until = self.now + cost;
         self.stats.recovery_busy_cycles += cost;
@@ -541,19 +587,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
         if self.now < done_at {
             return false;
         }
-        match end {
-            TaskEnd::Overrun => {
-                self.squash_and_recover(SquashReason::Overrun);
-                true
-            }
-            TaskEnd::Fault => {
-                self.squash_and_recover(SquashReason::Fault);
-                true
-            }
-            TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc) => {
-                let halted = matches!(end, TaskEnd::Halted(_));
-                let consistent = task.live_ins.consistent_with_state(&self.arch);
-                if !consistent {
+        match verify_and_commit(&mut self.arch, task, end) {
+            VerifyOutcome::Squash(reason) => {
+                if reason == SquashReason::LiveInMismatch {
                     if let Some(samples) = &mut self.mismatch_samples {
                         if samples.len() < samples.capacity() {
                             samples.push(MismatchSample {
@@ -563,17 +599,18 @@ impl<'a, C: CostModel> Engine<'a, C> {
                             });
                         }
                     }
-                    self.squash_and_recover(SquashReason::LiveInMismatch);
-                    return true;
                 }
-                // Task safety established: commit is a superimposition.
+                self.squash_and_recover(reason);
+                true
+            }
+            VerifyOutcome::Commit { end_pc, halted } => {
+                // Task safety established: the commit superimposition has
+                // been applied; account for it.
                 let task = self.tasks.pop_front().expect("front exists");
                 let vcost = self.cost.verify_cost(task.live_ins.len());
                 let ccost = self.cost.commit_cost(task.writes.len());
                 self.verify_busy_until = self.now + vcost + ccost;
                 self.stats.verify_busy_cycles += vcost + ccost;
-                self.arch.apply(&task.writes);
-                self.arch.set_pc(end_pc);
                 self.stats.committed_tasks += 1;
                 self.tasks_processed += 1;
                 self.stats.committed_instructions += task.executed;
@@ -828,8 +865,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
             }
         }
         if self.master.status() == MasterStall::Active {
-            let can_spawn =
-                self.master.pending_spawn().is_none() || self.free_slave().is_some();
+            let can_spawn = self.master.pending_spawn().is_none() || self.free_slave().is_some();
             if can_spawn {
                 consider(self.master_busy_until);
             }
@@ -948,11 +984,7 @@ mod tests {
         let mut map = BTreeMap::new();
         map.insert(p.entry(), evil.entry());
         map.insert(loop_pc, evil_block);
-        let d = Distilled::from_parts(
-            evil,
-            honest.boundaries().clone(),
-            map,
-        );
+        let d = Distilled::from_parts(evil, honest.boundaries().clone(), map);
         let run = mssp_run(&p, &d, 4);
         let seq = seq_state(&p);
         assert_eq!(run.state.reg(Reg::S1), seq.reg(Reg::S1));
@@ -1006,28 +1038,12 @@ mod tests {
         );
         engine.enable_commit_trace();
         let run = engine.run().unwrap();
-        let trace = run.commit_trace.expect("tracing enabled");
 
-        // Build the sequential PC trace.
-        let mut seq_pcs = vec![p.entry()];
-        let mut m = SeqMachine::boot(&p);
-        loop {
-            let info = m.step().unwrap();
-            if info.halted {
-                seq_pcs.push(info.pc);
-                break;
-            }
-            seq_pcs.push(info.next_pc);
-        }
         // Jumping refinement: commit points appear in order within the
-        // sequential trace.
-        let mut pos = 0;
-        for &pc in &trace {
-            match seq_pcs[pos..].iter().position(|&s| s == pc) {
-                Some(off) => pos += off,
-                None => panic!("commit pc {pc:#x} not found in SEQ trace order"),
-            }
-        }
+        // sequential trace (and final state matches). The typed checker
+        // reports `CommitOutOfOrder` instead of panicking mid-test.
+        crate::check_refinement(&p, &run).expect("commit trace refines SEQ");
+        let trace = run.commit_trace.expect("tracing enabled");
         assert!(trace.len() > 2, "expected several commit points");
     }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod chan;
 mod cost;
 mod engine;
 mod master;
@@ -49,8 +50,13 @@ mod task;
 mod threaded;
 
 pub use cost::{CoreRole, CostModel, UnitCost};
-pub use engine::{Engine, EngineConfig, EngineError, EngineStats, MismatchSample, MsspRun, SquashReason};
+pub use engine::{
+    verify_and_commit, Engine, EngineConfig, EngineError, EngineStats, MismatchSample, MsspRun,
+    SquashReason, VerifyOutcome,
+};
 pub use master::{Master, MasterStall};
 pub use refinement::{check_refinement, RefinementError};
-pub use task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus, TaskStorage};
+pub use task::{
+    BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId, TaskStatus, TaskStorage,
+};
 pub use threaded::{run_threaded, ThreadedRun};

@@ -121,7 +121,11 @@ pub fn check_refinement(program: &Program, run: &MsspRun) -> Result<(), Refineme
     for reg in Reg::all() {
         let (m, s) = (run.state.reg(reg), seq_state.reg(reg));
         if m != s {
-            return Err(RefinementError::RegisterMismatch { reg, mssp: m, seq: s });
+            return Err(RefinementError::RegisterMismatch {
+                reg,
+                mssp: m,
+                seq: s,
+            });
         }
     }
     // ...and every memory word either side touched.
@@ -135,7 +139,11 @@ pub fn check_refinement(program: &Program, run: &MsspRun) -> Result<(), Refineme
     for widx in words {
         let (m, s) = (run.state.load_word(widx), seq_state.load_word(widx));
         if m != s {
-            return Err(RefinementError::MemoryMismatch { widx, mssp: m, seq: s });
+            return Err(RefinementError::MemoryMismatch {
+                widx,
+                mssp: m,
+                seq: s,
+            });
         }
     }
     Ok(())

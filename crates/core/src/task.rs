@@ -20,12 +20,11 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use mssp_isa::Reg;
-use mssp_machine::{expand_mask, Cell, Delta, MachineState, Storage};
-use serde::{Deserialize, Serialize};
+use mssp_isa::{Program, Reg};
+use mssp_machine::{expand_mask, step, Cell, Delta, MachineState, Storage};
 
 /// Unique task identity, increasing in spawn (= program) order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u64);
 
 /// How a finished task ended.
@@ -113,6 +112,64 @@ impl Task {
         self.storage_with_granularity(arch, false)
     }
 
+    /// Runs this task to its natural end against an **immutable snapshot**
+    /// of architected state — the checkpoint the coordinator published
+    /// when the task was spawned. This is the threaded executor's hot
+    /// loop: it touches no shared state at all (the snapshot is a plain
+    /// `&MachineState`, typically borrowed out of an `Arc`), so workers
+    /// execute entire segments with zero lock traffic.
+    ///
+    /// `abandon` is polled at the points where holding on to doomed work
+    /// costs the most: once on entry (immediately after the snapshot was
+    /// captured — a squash may already have invalidated this epoch), at
+    /// every boundary crossing, and every 64 instructions. Returning
+    /// `true` ends the task as [`TaskEnd::Overrun`], which always
+    /// squashes; a stale task's result is discarded by epoch anyway, so
+    /// no dedicated "abandoned" variant is needed.
+    pub fn run_segment(
+        &mut self,
+        program: &Program,
+        snapshot: &MachineState,
+        rules: &SegmentRules<'_>,
+        mut abandon: impl FnMut() -> bool,
+    ) -> TaskEnd {
+        if abandon() {
+            return TaskEnd::Overrun;
+        }
+        loop {
+            let pc = self.pc;
+            let result = {
+                let mut storage = self.storage(snapshot);
+                step(&mut storage, program, pc)
+            };
+            match result {
+                Err(_) => return TaskEnd::Fault,
+                Ok(info) => {
+                    if info.halted {
+                        return TaskEnd::Halted(pc);
+                    }
+                    self.executed += 1;
+                    self.pc = info.next_pc;
+                    if rules.boundaries.contains(info.next_pc) {
+                        self.crossings += 1;
+                        if abandon() {
+                            return TaskEnd::Overrun;
+                        }
+                        if self.crossings >= rules.crossings_per_task {
+                            return TaskEnd::Boundary(info.next_pc);
+                        }
+                    }
+                    if self.executed >= rules.max_instrs {
+                        return TaskEnd::Overrun;
+                    }
+                    if self.executed.is_multiple_of(64) && abandon() {
+                        return TaskEnd::Overrun;
+                    }
+                }
+            }
+        }
+    }
+
     /// Like [`Task::storage`], optionally degrading live-in tracking to
     /// whole-word granularity (the ablation of byte masking: sub-word
     /// stores read-modify-write their containing word and record it
@@ -131,6 +188,18 @@ impl Task {
             word_granular,
         }
     }
+}
+
+/// When a task segment ends: the boundary-crossing quota and the
+/// instruction cap, shared by speculative execution and recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentRules<'a> {
+    /// Task-boundary PCs of the distilled program.
+    pub boundaries: &'a BoundarySet,
+    /// A task ends at its Nth boundary crossing.
+    pub crossings_per_task: u64,
+    /// Instruction cap; exceeding it is an overrun (always squashes).
+    pub max_instrs: u64,
 }
 
 /// The layered, live-in-recording storage a slave executes against.
@@ -169,7 +238,9 @@ impl TaskStorage<'_> {
         }
         if need != 0 {
             for seg in self.overlay {
-                let Some(p) = seg.get_masked(cell) else { continue };
+                let Some(p) = seg.get_masked(cell) else {
+                    continue;
+                };
                 let take = need & p.mask;
                 if take != 0 {
                     let bytes = p.value & expand_mask(take);
@@ -212,8 +283,7 @@ impl Storage for TaskStorage<'_> {
 
     fn load_word_masked(&mut self, widx: u64, mask: u8) -> u64 {
         let mask = if self.word_granular { 0xFF } else { mask };
-        let word = self.read_cell_masked(Cell::Mem(widx), mask);
-        word
+        self.read_cell_masked(Cell::Mem(widx), mask)
     }
 
     fn store_word(&mut self, widx: u64, value: u64) {
@@ -315,7 +385,7 @@ mod tests {
         arch.store_word(2, 200);
         arch.store_word(3, 300);
         let overlay = vec![
-            delta(&[(Cell::Mem(2), 222)]),          // newest segment
+            delta(&[(Cell::Mem(2), 222)]),                      // newest segment
             delta(&[(Cell::Mem(2), 211), (Cell::Mem(3), 333)]), // older
         ];
         let mut task = Task::new(TaskId(0), 0x100, 0, overlay);
@@ -353,10 +423,11 @@ mod tests {
     fn own_writes_are_not_live_ins() {
         let arch = MachineState::new();
         let mut task = Task::new(TaskId(0), 0, 0, Vec::new());
-        let mut st = task.storage(&arch);
-        st.write_reg(Reg::A0, 9);
-        assert_eq!(st.read_reg(Reg::A0), 9);
-        drop(st);
+        {
+            let mut st = task.storage(&arch);
+            st.write_reg(Reg::A0, 9);
+            assert_eq!(st.read_reg(Reg::A0), 9);
+        }
         assert!(task.live_ins.is_empty());
         assert_eq!(task.writes.get(Cell::Reg(Reg::A0)), Some(9));
     }
@@ -380,10 +451,11 @@ mod tests {
     fn zero_register_is_never_recorded() {
         let arch = MachineState::new();
         let mut task = Task::new(TaskId(0), 0, 0, Vec::new());
-        let mut st = task.storage(&arch);
-        assert_eq!(st.read_reg(Reg::ZERO), 0);
-        st.write_reg(Reg::ZERO, 5);
-        drop(st);
+        {
+            let mut st = task.storage(&arch);
+            assert_eq!(st.read_reg(Reg::ZERO), 0);
+            st.write_reg(Reg::ZERO, 5);
+        }
         assert!(task.live_ins.is_empty());
         assert!(task.writes.is_empty());
     }

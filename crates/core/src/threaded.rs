@@ -6,6 +6,27 @@
 //! speculative tasks concurrently while the coordinator thread runs the
 //! master and the in-order verify/commit unit.
 //!
+//! # Checkpoint-snapshot live-ins
+//!
+//! Slaves in the paper execute against the *master's checkpoint* — the
+//! architected state as of the task's spawn — never against a live,
+//! mutating machine. We mirror that here: the coordinator owns the
+//! architected [`MachineState`] outright (no lock), and every spawned
+//! [`WorkItem`] carries an immutable `Arc<MachineState>` snapshot
+//! published at the most recent commit or recovery. Workers resolve a
+//! task's live-ins from that spawn-time snapshot plus the task's private
+//! overlay, so the hot execute loop acquires **no shared lock at all**.
+//! Snapshot publication is cheap: `SparseMem` pages are `Arc`-backed
+//! copy-on-write, so cloning architected state is O(resident pages)
+//! refcount bumps and each commit only unshares the pages it touches.
+//!
+//! Reading a slightly stale snapshot can never corrupt state — recorded
+//! live-ins are checked against architected state at commit (the
+//! memoization test), so a stale read is a squash (a performance event),
+//! not a correctness event. Staleness is bounded by the epoch counter:
+//! workers abandon tasks from squashed epochs at entry, at every task
+//! boundary crossing, and every 64 instructions.
+//!
 //! Wall-clock timing is nondeterministic, but the committed architected
 //! state is not: verification forces every interleaving to the sequential
 //! result, which the test suite asserts against [`crate::Engine`] and the
@@ -14,15 +35,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use mssp_distill::Distilled;
 use mssp_isa::Program;
 use mssp_machine::{step, MachineState};
-use parking_lot::RwLock;
 
+use crate::chan::{channel, TryRecvError};
 use crate::master::{Master, MasterStall};
-use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId};
-use crate::{EngineConfig, EngineError, EngineStats};
+use crate::task::{BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId};
+use crate::{verify_and_commit, VerifyOutcome};
+use crate::{EngineConfig, EngineError, EngineStats, SquashReason};
 
 /// Result of a threaded MSSP run.
 #[derive(Debug)]
@@ -36,7 +57,10 @@ pub struct ThreadedRun {
 }
 
 struct WorkItem {
+    /// Epoch the task was spawned in; bumped on every squash.
     epoch: u64,
+    /// Checkpoint of architected state as of this task's spawn.
+    snapshot: Arc<MachineState>,
     task: Task,
 }
 
@@ -65,61 +89,44 @@ pub fn run_threaded(
 ) -> Result<ThreadedRun, EngineError> {
     assert!(config.num_slaves > 0, "MSSP needs at least one slave");
     let start_time = std::time::Instant::now();
-    let arch = Arc::new(RwLock::new(MachineState::boot(original)));
     let boundaries = Arc::new(BoundarySet::new(distilled.boundaries().clone()));
     let crossings_per_task = distilled.crossings_per_task().max(1);
     let current_epoch = Arc::new(AtomicU64::new(0));
 
-    let (work_tx, work_rx) = unbounded::<WorkItem>();
-    let (result_tx, result_rx) = unbounded::<WorkResult>();
+    let (work_tx, work_rx) = channel::<WorkItem>();
+    let (result_tx, result_rx) = channel::<WorkResult>();
 
     let mut stats = EngineStats::default();
 
     std::thread::scope(|scope| -> Result<MachineState, EngineError> {
         // ---- workers ----
         for _ in 0..config.num_slaves {
-            let work_rx: Receiver<WorkItem> = work_rx.clone();
-            let result_tx: Sender<WorkResult> = result_tx.clone();
-            let arch = Arc::clone(&arch);
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
             let boundaries = Arc::clone(&boundaries);
             let current_epoch = Arc::clone(&current_epoch);
             let original = &*original;
             let max_task = config.max_task_instrs;
             scope.spawn(move || {
-                while let Ok(WorkItem { epoch, mut task }) = work_rx.recv() {
-                    let end = loop {
-                        // Abandon stale work promptly after a squash.
-                        if task.executed % 64 == 0
-                            && current_epoch.load(Ordering::Relaxed) != epoch
-                        {
-                            break TaskEnd::Overrun;
-                        }
-                        let pc = task.pc;
-                        let result = {
-                            let arch = arch.read();
-                            let mut storage = task.storage(&arch);
-                            step(&mut storage, original, pc)
-                        };
-                        match result {
-                            Err(_) => break TaskEnd::Fault,
-                            Ok(info) => {
-                                if info.halted {
-                                    break TaskEnd::Halted(pc);
-                                }
-                                task.executed += 1;
-                                task.pc = info.next_pc;
-                                if boundaries.contains(info.next_pc) {
-                                    task.crossings += 1;
-                                    if task.crossings >= crossings_per_task {
-                                        break TaskEnd::Boundary(info.next_pc);
-                                    }
-                                }
-                                if task.executed >= max_task {
-                                    break TaskEnd::Overrun;
-                                }
-                            }
-                        }
-                    };
+                let rules = SegmentRules {
+                    boundaries: &boundaries,
+                    crossings_per_task,
+                    max_instrs: max_task,
+                };
+                while let Ok(WorkItem {
+                    epoch,
+                    snapshot,
+                    mut task,
+                }) = work_rx.recv()
+                {
+                    // The entire segment executes against the spawn-time
+                    // checkpoint: no lock, no shared mutable state. The
+                    // closure polls the epoch so squashed work is dropped
+                    // at entry, at boundary crossings, and every 64
+                    // instructions.
+                    let end = task.run_segment(original, &snapshot, &rules, || {
+                        current_epoch.load(Ordering::Relaxed) != epoch
+                    });
                     if result_tx.send(WorkResult { epoch, task, end }).is_err() {
                         return;
                     }
@@ -127,14 +134,19 @@ pub fn run_threaded(
             });
         }
         drop(result_tx); // coordinator keeps only the receiver
+        drop(work_rx); // workers keep the competitive-consumption clones
 
         // ---- coordinator: master + in-order verify/commit ----
-        let entry = arch.read().pc();
-        let mut master = Master::restart_at(distilled, entry, true, arch.read().clone());
+        //
+        // The coordinator is the sole owner of architected state; workers
+        // only ever see the immutable snapshots it publishes.
+        let mut arch = MachineState::boot(original);
+        let mut snapshot = Arc::new(arch.clone());
+        let entry = arch.pc();
+        let mut master = Master::restart_at(distilled, entry, true, arch.clone());
         let mut last_spawned: Option<u64> = None;
         let mut next_id = 0u64;
-        let mut in_flight: std::collections::VecDeque<TaskId> =
-            std::collections::VecDeque::new();
+        let mut in_flight: std::collections::VecDeque<TaskId> = std::collections::VecDeque::new();
         let mut done: std::collections::BTreeMap<u64, (Task, TaskEnd)> =
             std::collections::BTreeMap::new();
         let mut epoch = 0u64;
@@ -161,8 +173,12 @@ pub fn run_threaded(
                     last_spawned = Some(id.0);
                     master_steps_since_spawn = 0;
                     work_tx
-                        .send(WorkItem { epoch, task })
-                        .expect("workers alive");
+                        .send(WorkItem {
+                            epoch,
+                            snapshot: Arc::clone(&snapshot),
+                            task,
+                        })
+                        .unwrap_or_else(|_| unreachable!("workers alive"));
                     spawned_this_round = true;
                     continue;
                 }
@@ -187,12 +203,12 @@ pub fn run_threaded(
                     // Nothing else to do: block for the oldest result.
                     match result_rx.recv() {
                         Ok(m) => m,
-                        Err(_) => break,
+                        Err(()) => break,
                     }
                 } else {
                     match result_rx.try_recv() {
                         Ok(m) => m,
-                        Err(_) => break,
+                        Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
                     }
                 };
                 received = true;
@@ -201,89 +217,82 @@ pub fn run_threaded(
                 }
             }
 
-            // 3. Verify/commit in order.
+            // 3. Verify/commit in order (shared with the discrete engine).
             while let Some(&oldest) = in_flight.front() {
                 let Some((task, end)) = done.remove(&oldest.0) else {
                     break;
                 };
                 in_flight.pop_front();
-                let mut squash = None;
-                {
-                    let mut arch_w = arch.write();
-                    let start_ok = task.start_pc == arch_w.pc();
-                    match end {
-                        TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc)
-                            if start_ok && task.live_ins.consistent_with_state(&arch_w) =>
-                        {
-                            arch_w.apply(&task.writes);
-                            arch_w.set_pc(end_pc);
-                            stats.committed_tasks += 1;
-                            stats.committed_instructions += task.executed;
-                            stats.live_in_cells += task.live_ins.len() as u64;
-                            stats.live_out_cells += task.writes.len() as u64;
-                            master.on_commit(task.id.0);
-                            if matches!(end, TaskEnd::Halted(_)) {
-                                halted = true;
-                            }
+                match verify_and_commit(&mut arch, &task, end) {
+                    VerifyOutcome::Commit {
+                        end_pc: _,
+                        halted: h,
+                    } => {
+                        snapshot = Arc::new(arch.clone());
+                        stats.committed_tasks += 1;
+                        stats.committed_instructions += task.executed;
+                        stats.live_in_cells += task.live_ins.len() as u64;
+                        stats.live_out_cells += task.writes.len() as u64;
+                        master.on_commit(task.id.0);
+                        if h {
+                            break 'run;
                         }
-                        _ => squash = Some(()),
                     }
-                }
-                if halted {
-                    break 'run;
-                }
-                if squash.is_some() {
-                    // Squash everything younger and run recovery.
-                    stats.squashed_tasks += 1 + in_flight.len() as u64;
-                    stats.squashes_live_in += 1;
-                    epoch += 1;
-                    current_epoch.store(epoch, Ordering::Relaxed);
-                    in_flight.clear();
-                    done.clear();
-                    let recovered = run_recovery(
-                        original,
-                        &boundaries,
-                        crossings_per_task,
-                        &arch,
-                        config.max_recovery_instrs,
-                    )?;
-                    stats.recovery_segments += 1;
-                    stats.recovery_instructions += recovered.0;
-                    stats.committed_instructions += recovered.0;
-                    if recovered.1 {
-                        break 'run;
+                    VerifyOutcome::Squash(reason) => {
+                        // Squash everything younger and run recovery.
+                        stats.squashed_tasks += 1 + in_flight.len() as u64;
+                        match reason {
+                            SquashReason::WrongPath => stats.squashes_wrong_path += 1,
+                            SquashReason::LiveInMismatch => stats.squashes_live_in += 1,
+                            SquashReason::Overrun => stats.squashes_overrun += 1,
+                            SquashReason::Fault => stats.squashes_fault += 1,
+                        }
+                        epoch += 1;
+                        current_epoch.store(epoch, Ordering::Relaxed);
+                        in_flight.clear();
+                        done.clear();
+                        let recovered = run_recovery(
+                            original,
+                            &boundaries,
+                            crossings_per_task,
+                            &mut arch,
+                            config.max_recovery_instrs,
+                        )?;
+                        stats.recovery_segments += 1;
+                        stats.recovery_instructions += recovered.0;
+                        stats.committed_instructions += recovered.0;
+                        snapshot = Arc::new(arch.clone());
+                        if recovered.1 {
+                            break 'run;
+                        }
+                        let pc = arch.pc();
+                        master = Master::restart_at(distilled, pc, true, arch.clone());
+                        last_spawned = None;
+                        master_steps_since_spawn = 0;
+                        break;
                     }
-                    let snapshot = arch.read().clone();
-                    let pc = snapshot.pc();
-                    master = Master::restart_at(distilled, pc, true, snapshot);
-                    last_spawned = None;
-                    master_steps_since_spawn = 0;
-                    break;
                 }
             }
 
             // 4. Master starved (lost/halted with nothing in flight):
             //    sequential recovery.
-            if !halted
-                && in_flight.is_empty()
-                && master.status() != MasterStall::Active
-            {
+            if !halted && in_flight.is_empty() && master.status() != MasterStall::Active {
                 let recovered = run_recovery(
                     original,
                     &boundaries,
                     crossings_per_task,
-                    &arch,
+                    &mut arch,
                     config.max_recovery_instrs,
                 )?;
                 stats.recovery_segments += 1;
                 stats.recovery_instructions += recovered.0;
                 stats.committed_instructions += recovered.0;
+                snapshot = Arc::new(arch.clone());
                 if recovered.1 {
                     halted = true;
                 } else {
-                    let snapshot = arch.read().clone();
-                    let pc = snapshot.pc();
-                    master = Master::restart_at(distilled, pc, true, snapshot);
+                    let pc = arch.pc();
+                    master = Master::restart_at(distilled, pc, true, arch.clone());
                     last_spawned = None;
                     master_steps_since_spawn = 0;
                 }
@@ -291,8 +300,7 @@ pub fn run_threaded(
         }
 
         drop(work_tx); // workers drain and exit
-        let final_state = arch.read().clone();
-        Ok(final_state)
+        Ok(arch)
     })
     .map(|state| ThreadedRun {
         state,
@@ -307,19 +315,18 @@ fn run_recovery(
     original: &Program,
     boundaries: &BoundarySet,
     crossings_per_task: u64,
-    arch: &RwLock<MachineState>,
+    arch: &mut MachineState,
     cap: u64,
 ) -> Result<(u64, bool), EngineError> {
-    let snapshot = arch.read().clone();
     let mut writes = mssp_machine::Delta::new();
-    let mut pc = snapshot.pc();
+    let mut pc = arch.pc();
     let mut executed = 0u64;
     let mut crossings = 0u64;
     let halted = loop {
         let info = {
             let mut storage = RecoveryStorage {
                 writes: &mut writes,
-                arch: &snapshot,
+                arch,
             };
             step(&mut storage, original, pc).map_err(EngineError::RecoveryFault)?
         };
@@ -338,9 +345,8 @@ fn run_recovery(
             }
         }
     };
-    let mut arch_w = arch.write();
-    arch_w.apply(&writes);
-    arch_w.set_pc(pc);
+    arch.apply(&writes);
+    arch.set_pc(pc);
     Ok((executed, halted))
 }
 

@@ -240,9 +240,7 @@ fn throttling_reduces_wasted_work_under_a_bad_master() {
         throttle_duration: 8,
         ..EngineConfig::default()
     };
-    let throttled = Engine::new(&p, &d, throttled_cfg, UnitCost)
-        .run()
-        .unwrap();
+    let throttled = Engine::new(&p, &d, throttled_cfg, UnitCost).run().unwrap();
     assert_eq!(plain.state.reg(Reg::S1), seq_s1(&p));
     assert_eq!(throttled.state.reg(Reg::S1), seq_s1(&p));
     assert!(throttled.stats.throttle_events > 0);

@@ -1,13 +1,11 @@
 //! Distillation configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How aggressively the distiller approximates the original program.
 ///
 /// More aggressive distillation yields a shorter (faster) distilled program
 /// but mispredicts live-ins more often — the central performance/accuracy
 /// tradeoff the ablation experiment (F8) sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DistillLevel {
     /// No approximation: the distilled program is a relocated copy of the
     /// original (calls still rewritten to preserve the original's
@@ -60,7 +58,7 @@ impl std::fmt::Display for DistillLevel {
 /// };
 /// assert_eq!(cfg.level, DistillLevel::Aggressive);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistillConfig {
     /// Approximation level.
     pub level: DistillLevel,

@@ -26,7 +26,7 @@ use std::fmt;
 
 use mssp_analysis::{Cfg, Dominators, Liveness, Profile, Terminator};
 use mssp_isa::{asm::li_sequence, Instr, Program, INSTR_BYTES};
-use serde::{Deserialize, Serialize};
+use mssp_machine::{Fault, MachineState, SeqMachine};
 
 use crate::ir::{eliminate_dead_code, layout, DBlock, DInstr};
 use crate::{select_boundaries, DistillConfig, DistillLevel};
@@ -57,7 +57,7 @@ impl fmt::Display for DistillError {
 impl std::error::Error for DistillError {}
 
 /// Static statistics of one distillation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DistillStats {
     /// Static instructions in the original text.
     pub original_static: usize,
@@ -104,8 +104,7 @@ impl Distilled {
         boundaries: BTreeSet<u64>,
         orig_to_dist: BTreeMap<u64, u64>,
     ) -> Distilled {
-        let dist_to_orig: BTreeMap<u64, u64> =
-            orig_to_dist.iter().map(|(&o, &d)| (d, o)).collect();
+        let dist_to_orig: BTreeMap<u64, u64> = orig_to_dist.iter().map(|(&o, &d)| (d, o)).collect();
         let boundary_dist: BTreeMap<u64, u64> = boundaries
             .iter()
             .filter_map(|&b| orig_to_dist.get(&b).map(|&d| (d, b)))
@@ -187,7 +186,74 @@ impl Distilled {
     pub fn stats(&self) -> DistillStats {
         self.stats
     }
+
+    /// Runs the distilled program sequentially to `halt`, performing the
+    /// master's indirect-target translation (indirect jumps produce
+    /// original-space targets; see the module docs), and returns the
+    /// final state.
+    ///
+    /// This is a *functional* execution of the master's fast path —
+    /// useful for testing distillation soundness and characterizing
+    /// distilled behaviour without spinning up the full engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistilledRunError::Fault`] if the distilled program
+    /// faults, [`DistilledRunError::Untranslatable`] if an indirect jump
+    /// produces an original-space target with no distilled image (the
+    /// master would be lost there), and [`DistilledRunError::DidNotHalt`]
+    /// if `max_steps` run out first — distilled programs routinely spin
+    /// forever when an asserted exit branch was distilled away, so
+    /// termination is the caller's contract to check.
+    pub fn run_to_halt(&self, max_steps: u64) -> Result<MachineState, DistilledRunError> {
+        let mut m = SeqMachine::boot(&self.program);
+        for _ in 0..max_steps {
+            let info = m.step().map_err(DistilledRunError::Fault)?;
+            if info.halted {
+                return Ok(m.into_state());
+            }
+            if info.instr.is_indirect_jump() {
+                // Translate original-space target to distilled space.
+                let dist = self
+                    .to_dist(info.next_pc)
+                    .ok_or(DistilledRunError::Untranslatable(info.next_pc))?;
+                let mut s = m.into_state();
+                s.set_pc(dist);
+                m = SeqMachine::resume(&self.program, s);
+            }
+        }
+        Err(DistilledRunError::DidNotHalt)
+    }
 }
+
+/// Why a functional run of a distilled program failed — see
+/// [`Distilled::run_to_halt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistilledRunError {
+    /// The distilled program faulted.
+    Fault(Fault),
+    /// An indirect jump produced an original-space target that has no
+    /// distilled translation.
+    Untranslatable(u64),
+    /// The step budget ran out before `halt`.
+    DidNotHalt,
+}
+
+impl fmt::Display for DistilledRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistilledRunError::Fault(fault) => {
+                write!(f, "distilled program faulted: {fault}")
+            }
+            DistilledRunError::Untranslatable(pc) => {
+                write!(f, "indirect target {pc:#x} has no distilled translation")
+            }
+            DistilledRunError::DidNotHalt => write!(f, "distilled program did not halt"),
+        }
+    }
+}
+
+impl std::error::Error for DistilledRunError {}
 
 /// Distills `program` using `profile` as training data.
 ///
@@ -418,8 +484,7 @@ pub fn distill(
         .validate()
         .expect("layout produced in-range targets");
 
-    let dist_to_orig: BTreeMap<u64, u64> =
-        orig_to_dist.iter().map(|(&o, &d)| (d, o)).collect();
+    let dist_to_orig: BTreeMap<u64, u64> = orig_to_dist.iter().map(|(&o, &d)| (d, o)).collect();
     let boundary_dist: BTreeMap<u64, u64> = boundaries
         .iter()
         .filter_map(|&b| orig_to_dist.get(&b).map(|&d| (d, b)))
@@ -456,9 +521,7 @@ pub fn distill(
 }
 
 fn block_start_of(cfg: &Cfg, pc: u64) -> u64 {
-    let bid = cfg
-        .block_at(pc)
-        .expect("control targets are block leaders");
+    let bid = cfg.block_at(pc).expect("control targets are block leaders");
     cfg.blocks()[bid].start
 }
 
@@ -492,21 +555,44 @@ mod tests {
     /// translation as the master would perform it) and returns the final
     /// register `r`.
     fn run_distilled(d: &Distilled, r: Reg) -> u64 {
-        let mut m = SeqMachine::boot(d.program());
-        for _ in 0..1_000_000 {
-            let info = m.step().unwrap();
-            if info.halted {
-                return m.state().reg(r);
-            }
-            if info.instr.is_indirect_jump() {
-                // Translate original-space target to distilled space.
-                let dist = d.to_dist(info.next_pc).expect("translatable return");
-                let mut s = m.state().clone();
-                s.set_pc(dist);
-                m = SeqMachine::resume(d.program(), s);
-            }
+        d.run_to_halt(1_000_000)
+            .expect("distilled fixture halts")
+            .reg(r)
+    }
+
+    #[test]
+    fn run_to_halt_reports_non_termination_as_typed_error() {
+        // An always-spinning master is perfectly legal MSSP input; a
+        // functional run of it must end in a typed error, not a panic.
+        let spin = assemble("main: j main").unwrap();
+        let d = Distilled::from_parts(spin, BTreeSet::new(), BTreeMap::new());
+        assert_eq!(d.run_to_halt(100), Err(DistilledRunError::DidNotHalt));
+    }
+
+    #[test]
+    fn run_to_halt_reports_untranslatable_indirect_targets() {
+        // `jalr` produces an original-space target (see module docs); if
+        // the distiller retained no image for it, the master is lost.
+        let p = assemble("main: li a0, 0x5000\n jalr ra, 0(a0)\n halt").unwrap();
+        let d = Distilled::from_parts(p, BTreeSet::new(), BTreeMap::new());
+        assert_eq!(
+            d.run_to_halt(100),
+            Err(DistilledRunError::Untranslatable(0x5000))
+        );
+    }
+
+    #[test]
+    fn run_to_halt_propagates_faults_as_typed_error() {
+        // A direct jump clear out of the text segment faults at fetch.
+        let p = Program::from_instrs(vec![Instr::Jal(Reg::RA, 0x400)]);
+        match d_from(p).run_to_halt(100) {
+            Err(DistilledRunError::Fault(_)) => {}
+            other => panic!("expected fault, got {other:?}"),
         }
-        panic!("distilled program did not halt");
+    }
+
+    fn d_from(p: Program) -> Distilled {
+        Distilled::from_parts(p, BTreeSet::new(), BTreeMap::new())
     }
 
     #[test]
@@ -543,7 +629,12 @@ mod tests {
         )
         .unwrap();
         let prof = Profile::collect(&p, u64::MAX).unwrap();
-        let d = distill(&p, &prof, &DistillConfig::at_level(DistillLevel::Aggressive)).unwrap();
+        let d = distill(
+            &p,
+            &prof,
+            &DistillConfig::at_level(DistillLevel::Aggressive),
+        )
+        .unwrap();
         assert!(d.stats().asserted_branches >= 1);
         assert!(d.stats().removed_blocks >= 1);
         assert!(d.stats().distilled_static < d.stats().original_static);
@@ -602,7 +693,12 @@ mod tests {
         )
         .unwrap();
         let prof = Profile::collect(&p, u64::MAX).unwrap();
-        let d = distill(&p, &prof, &DistillConfig::at_level(DistillLevel::Aggressive)).unwrap();
+        let d = distill(
+            &p,
+            &prof,
+            &DistillConfig::at_level(DistillLevel::Aggressive),
+        )
+        .unwrap();
         assert!(d.stats().asserted_branches >= 1);
         assert!(d.stats().dce_removed >= 1, "stats: {:?}", d.stats());
     }

@@ -51,9 +51,7 @@ impl DInstr {
     /// Whether DCE may remove this instruction when its write is dead.
     fn removable(&self) -> bool {
         match self {
-            DInstr::Copy(i) => {
-                i.def_reg().is_some() && !i.is_store() && !i.is_control()
-            }
+            DInstr::Copy(i) => i.def_reg().is_some() && !i.is_store() && !i.is_control(),
             _ => false,
         }
     }
@@ -107,10 +105,7 @@ fn exit_of(block: &DBlock) -> BlockExit {
 /// backward may-analysis; `halt` and indirect jumps keep all registers
 /// live, and a fall-through off the end of the IR is treated as a barrier
 /// too (it only happens for the final block).
-pub(crate) fn eliminate_dead_code(
-    blocks: &mut Vec<DBlock>,
-    boundary_live: &BoundaryLive,
-) -> usize {
+pub(crate) fn eliminate_dead_code(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
     let mut removed = 0;
     loop {
         let n = dce_pass(blocks, boundary_live);
@@ -121,7 +116,7 @@ pub(crate) fn eliminate_dead_code(
     }
 }
 
-fn dce_pass(blocks: &mut Vec<DBlock>, boundary_live: &BoundaryLive) -> usize {
+fn dce_pass(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
     let index: BTreeMap<u64, usize> = blocks
         .iter()
         .enumerate()
@@ -180,7 +175,12 @@ fn block_exit_live(
     index: &BTreeMap<u64, usize>,
     live_in: &[RegSet],
 ) -> RegSet {
-    let lookup = |t: u64| index.get(&t).map(|&j| live_in[j]).unwrap_or_else(RegSet::all);
+    let lookup = |t: u64| {
+        index
+            .get(&t)
+            .map(|&j| live_in[j])
+            .unwrap_or_else(RegSet::all)
+    };
     match exit_of(&blocks[i]) {
         BlockExit::Barrier => RegSet::all(),
         BlockExit::End => RegSet::empty(),
@@ -354,7 +354,13 @@ mod tests {
                     DInstr::Branch(Instr::Bne(Reg::A1, Reg::ZERO, 0), head),
                 ],
             ),
-            block(0x200, vec![DInstr::Copy(Instr::Sd(Reg::A1, Reg::SP, 0)), DInstr::Copy(Instr::Halt)]),
+            block(
+                0x200,
+                vec![
+                    DInstr::Copy(Instr::Sd(Reg::A1, Reg::SP, 0)),
+                    DInstr::Copy(Instr::Halt),
+                ],
+            ),
         ];
         assert_eq!(eliminate_dead_code(&mut blocks, &BTreeMap::new()), 1);
         assert_eq!(blocks[0].instrs.len(), 2);

@@ -45,4 +45,4 @@ mod ir;
 
 pub use boundary::select_boundaries;
 pub use config::{DistillConfig, DistillLevel};
-pub use distill::{distill, Distilled, DistillError, DistillStats};
+pub use distill::{distill, DistillError, DistillStats, Distilled, DistilledRunError};

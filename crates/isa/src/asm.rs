@@ -31,6 +31,10 @@ use std::fmt;
 
 use crate::{Instr, Program, Reg, DATA_BASE, INSTR_BYTES, TEXT_BASE};
 
+/// A reg-reg-imm instruction constructor plus a "signed immediate" /
+/// "swapped operands" flag, depending on the table it appears in.
+type FlaggedRri = (fn(Reg, Reg, i16) -> Instr, bool);
+
 /// An assembly diagnostic, carrying the 1-based source line.
 ///
 /// # Examples
@@ -197,14 +201,14 @@ impl Assembler {
                         if n <= 0 || (n & (n - 1)) != 0 {
                             self.err(line, ".align needs a positive power of two");
                         } else if segment == Segment::Data {
-                            while data.len() as u64 % n as u64 != 0 {
+                            while !(data.len() as u64).is_multiple_of(n as u64) {
                                 data.push(0);
                             }
                         }
                     }
                     "space" => match self.parse_int(args.trim()) {
                         Some(n) if n >= 0 && segment == Segment::Data => {
-                            data.extend(std::iter::repeat(0u8).take(n as usize));
+                            data.extend(std::iter::repeat_n(0u8, n as usize));
                         }
                         _ => self.err(line, ".space needs a non-negative size in .data"),
                     },
@@ -225,7 +229,7 @@ impl Assembler {
                                     data.extend_from_slice(&v.to_le_bytes()[..width]);
                                 } else if is_ident(piece) {
                                     data_fixups.push((line, data.len(), width, piece.to_string()));
-                                    data.extend(std::iter::repeat(0u8).take(width));
+                                    data.extend(std::iter::repeat_n(0u8, width));
                                 } else {
                                     self.err(line, format!("bad data value `{piece}`"));
                                 }
@@ -295,9 +299,11 @@ impl Assembler {
             }
         }
         for (line, offset, width, sym) in &data_fixups {
-            match symbols.get(sym).copied().or_else(|| {
-                self.equs.get(sym).map(|&v| v as u64)
-            }) {
+            match symbols
+                .get(sym)
+                .copied()
+                .or_else(|| self.equs.get(sym).map(|&v| v as u64))
+            {
                 Some(v) => {
                     data[*offset..*offset + *width]
                         .copy_from_slice(&(v as i64).to_le_bytes()[..*width]);
@@ -506,7 +512,7 @@ impl Assembler {
         }
 
         // I-type ALU ops.
-        let rri: Option<(fn(Reg, Reg, i16) -> Instr, bool)> = match m {
+        let rri: Option<FlaggedRri> = match m {
             "addi" => Some((Instr::Addi, true)),
             "slti" => Some((Instr::Slti, true)),
             "sltiu" => Some((Instr::Sltiu, true)),
@@ -544,7 +550,10 @@ impl Assembler {
                 [O::Reg(rd), O::Reg(rs), O::Imm(v)] if (0..64).contains(v) => {
                     out.push(ctor(*rd, *rs, *v as u8));
                 }
-                _ => self.err(line, format!("`{m}` needs `reg, reg, shamt` with shamt in 0..64")),
+                _ => self.err(
+                    line,
+                    format!("`{m}` needs `reg, reg, shamt` with shamt in 0..64"),
+                ),
             }
             return;
         }
@@ -577,7 +586,7 @@ impl Assembler {
         }
 
         // Branches.
-        let branch: Option<(fn(Reg, Reg, i16) -> Instr, bool)> = match m {
+        let branch: Option<FlaggedRri> = match m {
             "beq" => Some((Instr::Beq, false)),
             "bne" => Some((Instr::Bne, false)),
             "blt" => Some((Instr::Blt, false)),
@@ -841,8 +850,11 @@ fn find_label(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn split_word(s: &str) -> (&str, &str) {
@@ -981,7 +993,8 @@ mod tests {
 
     #[test]
     fn data_symbol_fixups_point_at_labels() {
-        let p = assemble(".data\nptr: .dword target\ntarget: .dword 42\n.text\nmain: halt").unwrap();
+        let p =
+            assemble(".data\nptr: .dword target\ntarget: .dword 42\n.text\nmain: halt").unwrap();
         let ptr = u64::from_le_bytes(p.data()[0..8].try_into().unwrap());
         assert_eq!(ptr, p.symbol("target").unwrap());
     }
@@ -1060,7 +1073,8 @@ mod tests {
 
     #[test]
     fn la_loads_data_addresses() {
-        let p = assemble(".data\nv: .dword 9\n.text\nmain: la a0, v\n ld a1, 0(a0)\n halt").unwrap();
+        let p =
+            assemble(".data\nv: .dword 9\n.text\nmain: la a0, v\n ld a1, 0(a0)\n halt").unwrap();
         // la expands to lui+addi; simulate the pair.
         let (hi, lo) = match (p.text()[0], p.text()[1]) {
             (Instr::Lui(_, hi), Instr::Addi(_, _, lo)) => (hi, lo),
@@ -1071,7 +1085,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_ignored(){
+    fn comments_and_blank_lines_ignored() {
         let p = assemble("; leading comment\n\nmain: # trailing\n halt ; end\n").unwrap();
         assert_eq!(p.len(), 1);
     }

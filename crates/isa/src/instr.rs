@@ -12,8 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Reg;
 
 /// Width of one encoded instruction, in bytes.
@@ -39,7 +37,7 @@ pub const INSTR_BYTES: u64 = 4;
 /// assert_eq!(add.def_reg(), Some(Reg::A0));
 /// assert!(!add.is_control());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `rd = rs1 + rs2` (wrapping).
     Add(Reg, Reg, Reg),
@@ -158,13 +156,40 @@ impl Instr {
     pub fn def_reg(&self) -> Option<Reg> {
         use Instr::*;
         let rd = match *self {
-            Add(rd, ..) | Sub(rd, ..) | And(rd, ..) | Or(rd, ..) | Xor(rd, ..) | Sll(rd, ..)
-            | Srl(rd, ..) | Sra(rd, ..) | Slt(rd, ..) | Sltu(rd, ..) | Mul(rd, ..)
-            | Div(rd, ..) | Divu(rd, ..) | Rem(rd, ..) | Remu(rd, ..) | Addi(rd, ..)
-            | Andi(rd, ..) | Ori(rd, ..) | Xori(rd, ..) | Slti(rd, ..) | Sltiu(rd, ..)
-            | Slli(rd, ..) | Srli(rd, ..) | Srai(rd, ..) | Lui(rd, ..) | Lb(rd, ..)
-            | Lbu(rd, ..) | Lh(rd, ..) | Lhu(rd, ..) | Lw(rd, ..) | Lwu(rd, ..) | Ld(rd, ..)
-            | Jal(rd, ..) | Jalr(rd, ..) => rd,
+            Add(rd, ..)
+            | Sub(rd, ..)
+            | And(rd, ..)
+            | Or(rd, ..)
+            | Xor(rd, ..)
+            | Sll(rd, ..)
+            | Srl(rd, ..)
+            | Sra(rd, ..)
+            | Slt(rd, ..)
+            | Sltu(rd, ..)
+            | Mul(rd, ..)
+            | Div(rd, ..)
+            | Divu(rd, ..)
+            | Rem(rd, ..)
+            | Remu(rd, ..)
+            | Addi(rd, ..)
+            | Andi(rd, ..)
+            | Ori(rd, ..)
+            | Xori(rd, ..)
+            | Slti(rd, ..)
+            | Sltiu(rd, ..)
+            | Slli(rd, ..)
+            | Srli(rd, ..)
+            | Srai(rd, ..)
+            | Lui(rd, ..)
+            | Lb(rd, ..)
+            | Lbu(rd, ..)
+            | Lh(rd, ..)
+            | Lhu(rd, ..)
+            | Lw(rd, ..)
+            | Lwu(rd, ..)
+            | Ld(rd, ..)
+            | Jal(rd, ..)
+            | Jalr(rd, ..) => rd,
             Sb(..) | Sh(..) | Sw(..) | Sd(..) | Beq(..) | Bne(..) | Blt(..) | Bge(..)
             | Bltu(..) | Bgeu(..) | Halt => return None,
         };
@@ -191,18 +216,45 @@ impl Instr {
     pub fn use_regs(&self) -> [Option<Reg>; 2] {
         use Instr::*;
         match *self {
-            Add(_, a, b) | Sub(_, a, b) | And(_, a, b) | Or(_, a, b) | Xor(_, a, b)
-            | Sll(_, a, b) | Srl(_, a, b) | Sra(_, a, b) | Slt(_, a, b) | Sltu(_, a, b)
-            | Mul(_, a, b) | Div(_, a, b) | Divu(_, a, b) | Rem(_, a, b) | Remu(_, a, b) => {
-                [Some(a), Some(b)]
-            }
-            Addi(_, a, _) | Andi(_, a, _) | Ori(_, a, _) | Xori(_, a, _) | Slti(_, a, _)
-            | Sltiu(_, a, _) | Slli(_, a, _) | Srli(_, a, _) | Srai(_, a, _) => [Some(a), None],
+            Add(_, a, b)
+            | Sub(_, a, b)
+            | And(_, a, b)
+            | Or(_, a, b)
+            | Xor(_, a, b)
+            | Sll(_, a, b)
+            | Srl(_, a, b)
+            | Sra(_, a, b)
+            | Slt(_, a, b)
+            | Sltu(_, a, b)
+            | Mul(_, a, b)
+            | Div(_, a, b)
+            | Divu(_, a, b)
+            | Rem(_, a, b)
+            | Remu(_, a, b) => [Some(a), Some(b)],
+            Addi(_, a, _)
+            | Andi(_, a, _)
+            | Ori(_, a, _)
+            | Xori(_, a, _)
+            | Slti(_, a, _)
+            | Sltiu(_, a, _)
+            | Slli(_, a, _)
+            | Srli(_, a, _)
+            | Srai(_, a, _) => [Some(a), None],
             Lui(..) | Jal(..) | Halt => [None, None],
-            Lb(_, b, _) | Lbu(_, b, _) | Lh(_, b, _) | Lhu(_, b, _) | Lw(_, b, _)
-            | Lwu(_, b, _) | Ld(_, b, _) | Jalr(_, b, _) => [Some(b), None],
+            Lb(_, b, _)
+            | Lbu(_, b, _)
+            | Lh(_, b, _)
+            | Lhu(_, b, _)
+            | Lw(_, b, _)
+            | Lwu(_, b, _)
+            | Ld(_, b, _)
+            | Jalr(_, b, _) => [Some(b), None],
             Sb(s, b, _) | Sh(s, b, _) | Sw(s, b, _) | Sd(s, b, _) => [Some(s), Some(b)],
-            Beq(a, b, _) | Bne(a, b, _) | Blt(a, b, _) | Bge(a, b, _) | Bltu(a, b, _)
+            Beq(a, b, _)
+            | Bne(a, b, _)
+            | Blt(a, b, _)
+            | Bge(a, b, _)
+            | Bltu(a, b, _)
             | Bgeu(a, b, _) => [Some(a), Some(b)],
         }
     }
@@ -312,11 +364,13 @@ impl Instr {
     pub fn static_target(&self, pc: u64) -> Option<u64> {
         use Instr::*;
         match *self {
-            Beq(_, _, off) | Bne(_, _, off) | Blt(_, _, off) | Bge(_, _, off)
-            | Bltu(_, _, off) | Bgeu(_, _, off) | Jal(_, off) => Some(
-                pc.wrapping_add(INSTR_BYTES)
-                    .wrapping_add(off as i64 as u64),
-            ),
+            Beq(_, _, off)
+            | Bne(_, _, off)
+            | Blt(_, _, off)
+            | Bge(_, _, off)
+            | Bltu(_, _, off)
+            | Bgeu(_, _, off)
+            | Jal(_, off) => Some(pc.wrapping_add(INSTR_BYTES).wrapping_add(off as i64 as u64)),
             _ => None,
         }
     }
@@ -440,21 +494,46 @@ impl fmt::Display for Instr {
         use Instr::*;
         let m = self.mnemonic();
         match *self {
-            Add(rd, a, b) | Sub(rd, a, b) | And(rd, a, b) | Or(rd, a, b) | Xor(rd, a, b)
-            | Sll(rd, a, b) | Srl(rd, a, b) | Sra(rd, a, b) | Slt(rd, a, b) | Sltu(rd, a, b)
-            | Mul(rd, a, b) | Div(rd, a, b) | Divu(rd, a, b) | Rem(rd, a, b) | Remu(rd, a, b) => {
+            Add(rd, a, b)
+            | Sub(rd, a, b)
+            | And(rd, a, b)
+            | Or(rd, a, b)
+            | Xor(rd, a, b)
+            | Sll(rd, a, b)
+            | Srl(rd, a, b)
+            | Sra(rd, a, b)
+            | Slt(rd, a, b)
+            | Sltu(rd, a, b)
+            | Mul(rd, a, b)
+            | Div(rd, a, b)
+            | Divu(rd, a, b)
+            | Rem(rd, a, b)
+            | Remu(rd, a, b) => {
                 write!(f, "{m} {rd}, {a}, {b}")
             }
-            Addi(rd, a, i) | Andi(rd, a, i) | Ori(rd, a, i) | Xori(rd, a, i) | Slti(rd, a, i)
+            Addi(rd, a, i)
+            | Andi(rd, a, i)
+            | Ori(rd, a, i)
+            | Xori(rd, a, i)
+            | Slti(rd, a, i)
             | Sltiu(rd, a, i) => write!(f, "{m} {rd}, {a}, {i}"),
             Slli(rd, a, s) | Srli(rd, a, s) | Srai(rd, a, s) => write!(f, "{m} {rd}, {a}, {s}"),
             Lui(rd, i) => write!(f, "{m} {rd}, {i}"),
-            Lb(rd, b, o) | Lbu(rd, b, o) | Lh(rd, b, o) | Lhu(rd, b, o) | Lw(rd, b, o)
-            | Lwu(rd, b, o) | Ld(rd, b, o) => write!(f, "{m} {rd}, {o}({b})"),
+            Lb(rd, b, o)
+            | Lbu(rd, b, o)
+            | Lh(rd, b, o)
+            | Lhu(rd, b, o)
+            | Lw(rd, b, o)
+            | Lwu(rd, b, o)
+            | Ld(rd, b, o) => write!(f, "{m} {rd}, {o}({b})"),
             Sb(s, b, o) | Sh(s, b, o) | Sw(s, b, o) | Sd(s, b, o) => {
                 write!(f, "{m} {s}, {o}({b})")
             }
-            Beq(a, b, o) | Bne(a, b, o) | Blt(a, b, o) | Bge(a, b, o) | Bltu(a, b, o)
+            Beq(a, b, o)
+            | Bne(a, b, o)
+            | Blt(a, b, o)
+            | Bge(a, b, o)
+            | Bltu(a, b, o)
             | Bgeu(a, b, o) => write!(f, "{m} {a}, {b}, {o}"),
             Jal(rd, o) => write!(f, "{m} {rd}, {o}"),
             Jalr(rd, b, o) => write!(f, "{m} {rd}, {o}({b})"),
@@ -500,7 +579,10 @@ mod tests {
     fn static_target_handles_negative_offsets() {
         let b = Instr::Bne(Reg::A0, Reg::ZERO, -8);
         assert_eq!(b.static_target(0x100), Some(0x100 + 4 - 8));
-        assert_eq!(Instr::Jalr(Reg::ZERO, Reg::RA, 0).static_target(0x100), None);
+        assert_eq!(
+            Instr::Jalr(Reg::ZERO, Reg::RA, 0).static_target(0x100),
+            None
+        );
     }
 
     #[test]
@@ -525,7 +607,10 @@ mod tests {
             Instr::Add(Reg::A0, Reg::A1, Reg::A2).to_string(),
             "add a0, a1, a2"
         );
-        assert_eq!(Instr::Ld(Reg::A0, Reg::SP, -16).to_string(), "ld a0, -16(sp)");
+        assert_eq!(
+            Instr::Ld(Reg::A0, Reg::SP, -16).to_string(),
+            "ld a0, -16(sp)"
+        );
         assert_eq!(Instr::Halt.to_string(), "halt");
     }
 

@@ -9,8 +9,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{encode, Instr, INSTR_BYTES};
 
 /// Default base address of the text (code) segment.
@@ -39,7 +37,7 @@ pub const HEAP_BASE: u64 = 0x0100_0000;
 /// ]);
 /// assert_eq!(prog.fetch(prog.entry()), Some(Instr::Addi(Reg::A0, Reg::ZERO, 7)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     text: Vec<Instr>,
     text_base: u64,
@@ -65,7 +63,11 @@ impl Program {
         entry: u64,
         symbols: BTreeMap<String, u64>,
     ) -> Program {
-        assert_eq!(text_base % INSTR_BYTES, 0, "text base must be 4-byte aligned");
+        assert_eq!(
+            text_base % INSTR_BYTES,
+            0,
+            "text base must be 4-byte aligned"
+        );
         let text_end = text_base + text.len() as u64 * INSTR_BYTES;
         let data_end = data_base + data.len() as u64;
         assert!(
@@ -91,7 +93,14 @@ impl Program {
     /// entry at the first instruction.
     #[must_use]
     pub fn from_instrs(text: Vec<Instr>) -> Program {
-        Program::new(text, TEXT_BASE, Vec::new(), DATA_BASE, TEXT_BASE, BTreeMap::new())
+        Program::new(
+            text,
+            TEXT_BASE,
+            Vec::new(),
+            DATA_BASE,
+            TEXT_BASE,
+            BTreeMap::new(),
+        )
     }
 
     /// Decodes a binary text image (one 32-bit word per instruction) into
@@ -181,7 +190,9 @@ impl Program {
     /// Whether `pc` addresses an instruction in the text segment.
     #[must_use]
     pub fn contains_pc(&self, pc: u64) -> bool {
-        pc >= self.text_base && pc < self.text_end() && (pc - self.text_base) % INSTR_BYTES == 0
+        pc >= self.text_base
+            && pc < self.text_end()
+            && (pc - self.text_base).is_multiple_of(INSTR_BYTES)
     }
 
     /// Fetches the instruction at `pc`, or `None` if `pc` is outside the

@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of general-purpose registers in the ISA.
 pub const NUM_REGS: usize = 32;
 
@@ -28,7 +26,7 @@ pub const NUM_REGS: usize = 32;
 /// assert_eq!(Reg::new(0), Reg::ZERO);
 /// assert_eq!("a0".parse::<Reg>().unwrap(), Reg::A0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

@@ -48,10 +48,9 @@ fn string_escapes_round_trip() {
 
 #[test]
 fn hex_binary_and_underscore_literals() {
-    let p = assemble(
-        "main: addi a0, zero, 0x7F\n addi a1, zero, 0b1010\n addi a2, zero, 1_000\n halt",
-    )
-    .unwrap();
+    let p =
+        assemble("main: addi a0, zero, 0x7F\n addi a1, zero, 0b1010\n addi a2, zero, 1_000\n halt")
+            .unwrap();
     assert_eq!(p.text()[0], Instr::Addi(Reg::A0, Reg::ZERO, 0x7F));
     assert_eq!(p.text()[1], Instr::Addi(Reg::A1, Reg::ZERO, 10));
     assert_eq!(p.text()[2], Instr::Addi(Reg::A2, Reg::ZERO, 1000));

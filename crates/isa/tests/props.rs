@@ -1,88 +1,124 @@
 //! Property-based tests for the ISA: encode/decode round-trips over
 //! arbitrary instructions and assembler/disassembler agreement.
+//!
+//! Seeded with `mssp-testkit` (the build environment has no crate
+//! registry, so `proptest` is unavailable); a failing case prints its
+//! seed for replay.
 
 use mssp_isa::{decode, encode, Instr, Reg};
-use proptest::prelude::*;
+use mssp_testkit::{check, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0, 32) as u8)
 }
 
-fn arb_shamt() -> impl Strategy<Value = u8> {
-    0u8..64
-}
-
-prop_compose! {
-    fn rrr(ctor: fn(Reg, Reg, Reg) -> Instr)
-        (a in arb_reg(), b in arb_reg(), c in arb_reg()) -> Instr {
-        ctor(a, b, c)
+fn arb_instr(rng: &mut Rng) -> Instr {
+    type Rrr = fn(Reg, Reg, Reg) -> Instr;
+    type Rri = fn(Reg, Reg, i16) -> Instr;
+    type Sh = fn(Reg, Reg, u8) -> Instr;
+    const RRR: &[Rrr] = &[
+        Instr::Add,
+        Instr::Sub,
+        Instr::And,
+        Instr::Or,
+        Instr::Xor,
+        Instr::Sll,
+        Instr::Srl,
+        Instr::Sra,
+        Instr::Slt,
+        Instr::Sltu,
+        Instr::Mul,
+        Instr::Div,
+        Instr::Divu,
+        Instr::Rem,
+        Instr::Remu,
+    ];
+    const RRI: &[Rri] = &[
+        Instr::Addi,
+        Instr::Andi,
+        Instr::Ori,
+        Instr::Xori,
+        Instr::Slti,
+        Instr::Sltiu,
+        Instr::Lb,
+        Instr::Lbu,
+        Instr::Lh,
+        Instr::Lhu,
+        Instr::Lw,
+        Instr::Lwu,
+        Instr::Ld,
+        Instr::Sb,
+        Instr::Sh,
+        Instr::Sw,
+        Instr::Sd,
+        Instr::Beq,
+        Instr::Bne,
+        Instr::Blt,
+        Instr::Bge,
+        Instr::Bltu,
+        Instr::Bgeu,
+        Instr::Jalr,
+    ];
+    const SHIFT: &[Sh] = &[Instr::Slli, Instr::Srli, Instr::Srai];
+    match rng.gen_range(0, 6) {
+        0 | 1 => {
+            let ctor = *rng.choose(RRR);
+            ctor(arb_reg(rng), arb_reg(rng), arb_reg(rng))
+        }
+        2 | 3 => {
+            let ctor = *rng.choose(RRI);
+            ctor(arb_reg(rng), arb_reg(rng), rng.next_u64() as i16)
+        }
+        4 => {
+            let ctor = *rng.choose(SHIFT);
+            ctor(arb_reg(rng), arb_reg(rng), rng.gen_range(0, 64) as u8)
+        }
+        _ => match rng.gen_range(0, 3) {
+            0 => Instr::Lui(arb_reg(rng), rng.next_u64() as i16),
+            1 => Instr::Jal(arb_reg(rng), rng.next_u64() as i16),
+            _ => Instr::Halt,
+        },
     }
 }
 
-prop_compose! {
-    fn rri(ctor: fn(Reg, Reg, i16) -> Instr)
-        (a in arb_reg(), b in arb_reg(), i in any::<i16>()) -> Instr {
-        ctor(a, b, i)
-    }
-}
-
-prop_compose! {
-    fn shift(ctor: fn(Reg, Reg, u8) -> Instr)
-        (a in arb_reg(), b in arb_reg(), s in arb_shamt()) -> Instr {
-        ctor(a, b, s)
-    }
-}
-
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        rrr(Instr::Add), rrr(Instr::Sub), rrr(Instr::And), rrr(Instr::Or),
-        rrr(Instr::Xor), rrr(Instr::Sll), rrr(Instr::Srl), rrr(Instr::Sra),
-        rrr(Instr::Slt), rrr(Instr::Sltu), rrr(Instr::Mul), rrr(Instr::Div),
-        rrr(Instr::Divu), rrr(Instr::Rem), rrr(Instr::Remu),
-        rri(Instr::Addi), rri(Instr::Andi), rri(Instr::Ori), rri(Instr::Xori),
-        rri(Instr::Slti), rri(Instr::Sltiu),
-        shift(Instr::Slli), shift(Instr::Srli), shift(Instr::Srai),
-        (arb_reg(), any::<i16>()).prop_map(|(r, i)| Instr::Lui(r, i)),
-        rri(Instr::Lb), rri(Instr::Lbu), rri(Instr::Lh), rri(Instr::Lhu),
-        rri(Instr::Lw), rri(Instr::Lwu), rri(Instr::Ld),
-        rri(Instr::Sb), rri(Instr::Sh), rri(Instr::Sw), rri(Instr::Sd),
-        rri(Instr::Beq), rri(Instr::Bne), rri(Instr::Blt), rri(Instr::Bge),
-        rri(Instr::Bltu), rri(Instr::Bgeu),
-        (arb_reg(), any::<i16>()).prop_map(|(r, i)| Instr::Jal(r, i)),
-        rri(Instr::Jalr),
-        Just(Instr::Halt),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(instr in arb_instr()) {
+#[test]
+fn encode_decode_round_trips() {
+    check(0x1541_0001, 2048, |rng| {
+        let instr = arb_instr(rng);
         let word = encode(instr);
-        prop_assert_eq!(decode(word), Ok(instr));
-    }
+        assert_eq!(decode(word), Ok(instr));
+    });
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
-        let _ = decode(word);
-    }
+#[test]
+fn decode_never_panics() {
+    check(0x1541_0002, 4096, |rng| {
+        let _ = decode(rng.next_u64() as u32);
+    });
+}
 
-    #[test]
-    fn decoded_reencodes_identically(word in any::<u32>()) {
+#[test]
+fn decoded_reencodes_identically() {
+    check(0x1541_0003, 4096, |rng| {
+        let word = rng.next_u64() as u32;
         if let Ok(instr) = decode(word) {
             // Canonical form: decoding an encodable word and re-encoding
             // gives back the same bits.
-            prop_assert_eq!(encode(instr), word);
+            assert_eq!(encode(instr), word);
         }
-    }
+    });
+}
 
-    #[test]
-    fn li_sequence_is_bounded(v in any::<i64>()) {
+#[test]
+fn li_sequence_is_bounded() {
+    check(0x1541_0004, 1024, |rng| {
+        let v = rng.next_u64() as i64;
         let seq = mssp_isa::asm::li_sequence(Reg::A0, v);
-        prop_assert!(!seq.is_empty());
-        prop_assert!(seq.len() <= 8);
+        assert!(!seq.is_empty());
+        assert!(seq.len() <= 8);
         // The sequence only ever writes the destination register.
         for i in &seq {
-            prop_assert_eq!(i.def_reg(), Some(Reg::A0));
+            assert_eq!(i.def_reg(), Some(Reg::A0));
         }
-    }
+    });
 }

@@ -17,7 +17,6 @@
 use std::fmt;
 
 use mssp_isa::Reg;
-use serde::{Deserialize, Serialize};
 
 /// An addressable unit of machine state.
 ///
@@ -35,7 +34,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c, Cell::Mem(0x201));
 /// assert!(Cell::Reg(Reg::A0) < Cell::Mem(0)); // registers order first
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Cell {
     /// A general-purpose register.
     Reg(Reg),

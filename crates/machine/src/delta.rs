@@ -31,13 +31,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Cell, MachineState};
 
 /// A partially-defined 64-bit value: `mask` bit *i* set means byte *i*
 /// (little-endian) of `value` is bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MaskedVal {
     /// The value; bytes outside `mask` are zero.
     pub value: u64,
@@ -120,7 +118,7 @@ impl MaskedVal {
 /// assert_eq!(c.get(Cell::Reg(Reg::A0)), Some(2));
 /// assert_eq!(c.get(Cell::Reg(Reg::A1)), Some(3));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Delta {
     cells: BTreeMap<Cell, MaskedVal>,
 }
@@ -267,10 +265,7 @@ impl Delta {
     #[must_use]
     pub fn consistent_with(&self, other: &Delta) -> bool {
         self.iter_masked().all(|(c, m)| match other.get_masked(c) {
-            Some(o) => {
-                (o.mask & m.mask) == m.mask
-                    && (o.value & expand_mask(m.mask)) == m.value
-            }
+            Some(o) => (o.mask & m.mask) == m.mask && (o.value & expand_mask(m.mask)) == m.value,
             None => false,
         })
     }

@@ -113,15 +113,9 @@ pub fn step<S: Storage>(storage: &mut S, program: &Program, pc: u64) -> Result<S
     }
     macro_rules! load {
         ($rd:expr, $base:expr, $off:expr, $len:expr, $signed:expr) => {{
-            let addr = storage
-                .read_reg($base)
-                .wrapping_add($off as i64 as u64);
+            let addr = storage.read_reg($base).wrapping_add($off as i64 as u64);
             let raw = storage.load_bytes(addr, $len);
-            let v = if $signed {
-                sign_extend(raw, $len)
-            } else {
-                raw
-            };
+            let v = if $signed { sign_extend(raw, $len) } else { raw };
             storage.write_reg($rd, v);
             mem = Some(MemAccess {
                 addr,
@@ -132,9 +126,7 @@ pub fn step<S: Storage>(storage: &mut S, program: &Program, pc: u64) -> Result<S
     }
     macro_rules! store {
         ($src:expr, $base:expr, $off:expr, $len:expr) => {{
-            let addr = storage
-                .read_reg($base)
-                .wrapping_add($off as i64 as u64);
+            let addr = storage.read_reg($base).wrapping_add($off as i64 as u64);
             let v = storage.read_reg($src);
             storage.store_bytes(addr, $len, v);
             mem = Some(MemAccess {
@@ -171,11 +163,9 @@ pub fn step<S: Storage>(storage: &mut S, program: &Program, pc: u64) -> Result<S
         Sltu(rd, a, b) => alu!(rd, a, b, |x, y| (x < y) as u64),
         Mul(rd, a, b) => alu!(rd, a, b, |x: u64, y: u64| x.wrapping_mul(y)),
         Div(rd, a, b) => alu!(rd, a, b, |x, y| signed_div(x as i64, y as i64) as u64),
-        Divu(rd, a, b) => alu!(rd, a, b, |x: u64, y: u64| if y == 0 {
-            u64::MAX
-        } else {
-            x / y
-        }),
+        Divu(rd, a, b) => alu!(rd, a, b, |x: u64, y: u64| x
+            .checked_div(y)
+            .unwrap_or(u64::MAX)),
         Rem(rd, a, b) => alu!(rd, a, b, |x, y| signed_rem(x as i64, y as i64) as u64),
         Remu(rd, a, b) => alu!(rd, a, b, |x: u64, y: u64| if y == 0 { x } else { x % y }),
 
@@ -279,17 +269,9 @@ mod tests {
 
     fn run_asm(src: &str) -> MachineState {
         let p = assemble(src).unwrap();
-        let mut s = MachineState::boot(&p);
-        let mut pc = s.pc();
-        for _ in 0..100_000 {
-            let info = step(&mut s, &p, pc).unwrap();
-            if info.halted {
-                s.set_pc(pc);
-                return s;
-            }
-            pc = info.next_pc;
-        }
-        panic!("program did not halt");
+        let mut m = crate::SeqMachine::boot(&p);
+        m.run_to_halt(100_000).expect("fixture halts cleanly");
+        m.into_state()
     }
 
     #[test]

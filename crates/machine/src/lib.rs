@@ -50,6 +50,6 @@ pub use cell::Cell;
 pub use delta::{expand_mask, Delta, MaskedVal};
 pub use exec::{step, Fault, MemAccess, StepInfo};
 pub use mem::SparseMem;
-pub use seq::{cumulative_writes, seq_n, RunSummary, SeqError, SeqMachine, StopReason};
+pub use seq::{cumulative_writes, seq_n, HaltError, RunSummary, SeqError, SeqMachine, StopReason};
 pub use state::{MachineState, Recording, Storage};
 pub use trace::{Trace, TraceStep};

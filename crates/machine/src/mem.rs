@@ -8,8 +8,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// Words per page (4 KiB pages).
 const PAGE_WORDS: u64 = 512;
 
@@ -32,7 +30,7 @@ const PAGE_WORDS: u64 = 512;
 /// m.store(123, 0xABCD);
 /// assert_eq!(m.load(123), 0xABCD);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMem {
     pages: HashMap<u64, Arc<Vec<u64>>>,
 }
@@ -96,6 +94,21 @@ impl SparseMem {
         self.pages.len()
     }
 
+    /// Number of pages physically shared (same allocation) with `other`.
+    ///
+    /// This is the observable form of the copy-on-write guarantee that
+    /// makes snapshot publication cheap: cloning a `SparseMem` shares
+    /// every resident page, and a store after the clone unshares only the
+    /// page it touches — so publishing a fresh snapshot per commit costs
+    /// O(pages written since the last snapshot), not O(total state).
+    #[must_use]
+    pub fn shared_pages_with(&self, other: &SparseMem) -> usize {
+        self.pages
+            .iter()
+            .filter(|(k, p)| other.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
+            .count()
+    }
+
     /// Iterates over all words ever written (including those re-written to
     /// zero), as `(word_index, value)` pairs in unspecified order.
     pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -148,6 +161,30 @@ mod tests {
         // Neighbouring bytes of the pre-existing word are preserved.
         assert_eq!(m.read_byte(0x102), 0xFF);
         assert_eq!(m.read_byte(0x104), 0xFF);
+    }
+
+    #[test]
+    fn clone_shares_every_page() {
+        let mut m = SparseMem::new();
+        for i in 0..10u64 {
+            m.store(i * PAGE_WORDS, i + 1);
+        }
+        let snap = m.clone();
+        assert_eq!(snap.shared_pages_with(&m), m.resident_pages());
+    }
+
+    #[test]
+    fn store_after_clone_unshares_only_the_touched_page() {
+        let mut m = SparseMem::new();
+        for i in 0..10u64 {
+            m.store(i * PAGE_WORDS, i + 1);
+        }
+        let snap = m.clone();
+        m.store(3 * PAGE_WORDS + 5, 99);
+        // Exactly one page diverged; the snapshot still reads old data.
+        assert_eq!(snap.shared_pages_with(&m), m.resident_pages() - 1);
+        assert_eq!(snap.load(3 * PAGE_WORDS + 5), 0);
+        assert_eq!(m.load(3 * PAGE_WORDS + 5), 99);
     }
 
     #[test]

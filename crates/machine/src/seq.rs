@@ -54,6 +54,44 @@ impl fmt::Display for SeqError {
 
 impl std::error::Error for SeqError {}
 
+/// Error from [`SeqMachine::run_to_halt`]: the program either faulted or
+/// exhausted its step budget without executing `halt`.
+///
+/// This is the typed replacement for the old "run N steps then panic"
+/// pattern in test helpers: callers that *require* termination get a
+/// value they can propagate or assert on instead of a panic deep in
+/// library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltError {
+    /// The machine faulted (a malformed program).
+    Fault(SeqError),
+    /// The step budget ran out before `halt`.
+    DidNotHalt {
+        /// Instructions retired within the budget.
+        instructions: u64,
+    },
+}
+
+impl fmt::Display for HaltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaltError::Fault(e) => write!(f, "{e}"),
+            HaltError::DidNotHalt { instructions } => {
+                write!(f, "program did not halt within {instructions} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaltError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HaltError::Fault(e) => Some(e),
+            HaltError::DidNotHalt { .. } => None,
+        }
+    }
+}
+
 /// A sequential machine: a [`MachineState`] bound to a [`Program`].
 ///
 /// # Examples
@@ -155,6 +193,23 @@ impl<'p> SeqMachine<'p> {
     /// Returns [`SeqError`] if the machine faults.
     pub fn run(&mut self, max_steps: u64) -> Result<RunSummary, SeqError> {
         self.run_observed(max_steps, |_| {})
+    }
+
+    /// Runs until `halt`, treating failure to halt within `max_steps` as
+    /// an error — for callers that require termination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaltError::Fault`] if the machine faults and
+    /// [`HaltError::DidNotHalt`] if the budget runs out first.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<RunSummary, HaltError> {
+        let summary = self.run(max_steps).map_err(HaltError::Fault)?;
+        match summary.stop {
+            StopReason::Halted => Ok(summary),
+            StopReason::StepLimit => Err(HaltError::DidNotHalt {
+                instructions: summary.instructions,
+            }),
+        }
     }
 
     /// Runs like [`SeqMachine::run`], invoking `observer` after every
@@ -326,6 +381,34 @@ mod tests {
         // Two instructions plus the halt observation.
         assert_eq!(pcs.len(), 3);
         assert_eq!(pcs[0], p.entry());
+    }
+
+    #[test]
+    fn run_to_halt_reports_non_termination_as_typed_error() {
+        let p = assemble("main: j main").unwrap();
+        let mut m = SeqMachine::boot(&p);
+        assert_eq!(
+            m.run_to_halt(25),
+            Err(HaltError::DidNotHalt { instructions: 25 })
+        );
+    }
+
+    #[test]
+    fn run_to_halt_propagates_faults_as_typed_error() {
+        let p = assemble("main: li a0, 0x900000\n jalr ra, 0(a0)\n halt").unwrap();
+        let mut m = SeqMachine::boot(&p);
+        match m.run_to_halt(100) {
+            Err(HaltError::Fault(e)) => assert_eq!(e.fault, Fault::IllegalPc(0x900000)),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_to_halt_succeeds_on_terminating_programs() {
+        let p = assemble("main: addi a0, zero, 3\n halt").unwrap();
+        let mut m = SeqMachine::boot(&p);
+        let summary = m.run_to_halt(100).unwrap();
+        assert_eq!(summary.stop, StopReason::Halted);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! executes against.
 
 use mssp_isa::{Reg, NUM_REGS, STACK_TOP};
-use serde::{Deserialize, Serialize};
 
 use crate::{Cell, Delta, SparseMem};
 
@@ -24,7 +23,7 @@ use crate::{Cell, Delta, SparseMem};
 /// assert_eq!(s.reg(Reg::A0), 42);
 /// assert_eq!(s.reg(Reg::ZERO), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineState {
     regs: [u64; NUM_REGS],
     pc: u64,

@@ -170,7 +170,7 @@ mod tests {
         );
         assert_eq!(t.len(), 8);
         assert_eq!(t.recorded(), 1 + 100 + 1); // init + 50*(addi,bnez) + halt
-        // The retained tail ends with the halt observation.
+                                               // The retained tail ends with the halt observation.
         let last = t.iter().last().unwrap();
         assert!(last.instr.is_halt());
     }

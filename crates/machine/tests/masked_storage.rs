@@ -2,9 +2,12 @@
 //! exactly equivalent to a plain byte-array model across widths,
 //! alignments and overlaps — and masked deltas must compose like byte
 //! arrays too.
+//!
+//! Seeded with `mssp-testkit` (no crate registry in the build
+//! environment); a failing case prints its seed for replay.
 
 use mssp_machine::{expand_mask, Cell, Delta, MachineState, MaskedVal, Storage};
-use proptest::prelude::*;
+use mssp_testkit::{check, Rng};
 
 /// Reference model: a flat byte array.
 #[derive(Clone)]
@@ -32,21 +35,24 @@ impl Flat {
     }
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, u8, u64)>> {
-    proptest::collection::vec(
-        (
-            any::<bool>(),
-            0u64..4000,
-            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
-            any::<u64>(),
-        ),
-        1..60,
-    )
+fn arb_ops(rng: &mut Rng) -> Vec<(bool, u64, u8, u64)> {
+    let n = rng.gen_range(1, 60);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_bool(1, 2),
+                rng.gen_range(0, 4000),
+                *rng.choose(&[1u8, 2, 4, 8]),
+                rng.next_u64(),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn storage_helpers_match_flat_byte_model(ops in arb_ops()) {
+#[test]
+fn storage_helpers_match_flat_byte_model() {
+    check(0xB17E_0001, 512, |rng| {
+        let ops = arb_ops(rng);
         let mut flat = Flat::new();
         let mut state = MachineState::new();
         for (is_store, addr, len, value) in ops {
@@ -56,13 +62,16 @@ proptest! {
             } else {
                 let expected = flat.load(addr, len);
                 let got = state.load_bytes(addr, len);
-                prop_assert_eq!(got, expected, "load {}B @ {:#x}", len, addr);
+                assert_eq!(got, expected, "load {len}B @ {addr:#x}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn masked_delta_applies_like_byte_writes(ops in arb_ops()) {
+#[test]
+fn masked_delta_applies_like_byte_writes() {
+    check(0xB17E_0002, 512, |rng| {
+        let ops = arb_ops(rng);
         // Writing through a Delta (masked) then applying must equal
         // writing directly.
         let mut direct = MachineState::new();
@@ -78,7 +87,11 @@ proptest! {
                 let take = (8 - first).min(len as u64 - done);
                 let mask = (((1u16 << take) - 1) as u8) << first;
                 let chunk = ((value >> (done * 8))
-                    & if take >= 8 { u64::MAX } else { (1u64 << (take * 8)) - 1 })
+                    & if take >= 8 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (take * 8)) - 1
+                    })
                     << (first * 8);
                 delta.set_bytes(Cell::Mem(widx), chunk, mask);
                 done += take;
@@ -87,19 +100,22 @@ proptest! {
         let mut via_delta = MachineState::new();
         via_delta.apply(&delta);
         for w in 0..512u64 {
-            prop_assert_eq!(via_delta.load_word(w), direct.load_word(w), "word {}", w);
+            assert_eq!(via_delta.load_word(w), direct.load_word(w), "word {w}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn masked_val_overwrite_is_byte_exact(
-        a in any::<u64>(), am in any::<u8>(),
-        b in any::<u64>(), bm in any::<u8>(),
-    ) {
+#[test]
+fn masked_val_overwrite_is_byte_exact() {
+    check(0xB17E_0003, 2048, |rng| {
+        let a = rng.next_u64();
+        let am = rng.next_u64() as u8;
+        let b = rng.next_u64();
+        let bm = rng.next_u64() as u8;
         let old = MaskedVal::partial(a, am);
         let new = MaskedVal::partial(b, bm);
         let merged = old.overwrite_with(new);
-        prop_assert_eq!(merged.mask, am | bm);
+        assert_eq!(merged.mask, am | bm);
         for byte in 0..8u32 {
             let bit = 1u8 << byte;
             let got = (merged.value >> (byte * 8)) & 0xFF;
@@ -110,30 +126,41 @@ proptest! {
             } else {
                 0
             };
-            prop_assert_eq!(got, expect, "byte {}", byte);
+            assert_eq!(got, expect, "byte {byte}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn consistency_is_reflexive_and_monotone(
-        pairs in proptest::collection::vec((0u64..32, any::<u64>()), 0..10),
-        extra in proptest::collection::vec((32u64..64, any::<u64>()), 0..10),
-    ) {
+#[test]
+fn consistency_is_reflexive_and_monotone() {
+    check(0xB17E_0004, 512, |rng| {
+        let n = rng.gen_range(0, 10);
+        let pairs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0, 32), rng.next_u64()))
+            .collect();
+        let m = rng.gen_range(0, 10);
+        let extra: Vec<(u64, u64)> = (0..m)
+            .map(|_| (rng.gen_range(32, 64), rng.next_u64()))
+            .collect();
         let base: Delta = pairs.iter().map(|&(w, v)| (Cell::Mem(w), v)).collect();
-        prop_assert!(base.consistent_with(&base));
+        assert!(base.consistent_with(&base));
         let mut bigger = base.clone();
         for &(w, v) in &extra {
             bigger.set(Cell::Mem(w), v);
         }
-        prop_assert!(base.consistent_with(&bigger));
-    }
+        assert!(base.consistent_with(&bigger));
+    });
+}
 
-    #[test]
-    fn expand_mask_expands_each_bit(mask in any::<u8>()) {
+#[test]
+fn expand_mask_expands_each_bit() {
+    // Exhaustive: only 256 masks exist.
+    for mask in 0u16..256 {
+        let mask = mask as u8;
         let em = expand_mask(mask);
         for byte in 0..8u32 {
             let expected = if mask & (1 << byte) != 0 { 0xFF } else { 0 };
-            prop_assert_eq!((em >> (byte * 8)) & 0xFF, expected);
+            assert_eq!((em >> (byte * 8)) & 0xFF, expected);
         }
     }
 }

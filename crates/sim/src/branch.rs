@@ -6,10 +6,8 @@
 //! which is one of the secondary reasons the master runs fast — the paper
 //! makes the same observation about distilled code quality.
 
-use serde::{Deserialize, Serialize};
-
 /// Gshare predictor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GshareConfig {
     /// log2 of the pattern-history table size.
     pub table_bits: u32,
@@ -27,7 +25,7 @@ impl Default for GshareConfig {
 }
 
 /// Prediction counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchStats {
     /// Correct direction predictions.
     pub correct: u64,
@@ -173,7 +171,9 @@ mod tests {
         let mut x: u64 = 12345;
         let mut miss = 0u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if !bp.predict_and_update(0x300, taken) {
                 miss += 1;
@@ -246,7 +246,8 @@ impl Btb {
     /// the `actual` target. Returns whether the prediction was correct.
     pub fn predict_and_update(&mut self, pc: u64, actual: u64) -> bool {
         let idx = ((pc >> 2) as usize) & (self.entries.len() - 1);
-        let correct = matches!(self.entries[idx], Some((tag, target)) if tag == pc && target == actual);
+        let correct =
+            matches!(self.entries[idx], Some((tag, target)) if tag == pc && target == actual);
         if correct {
             self.hits += 1;
         } else {

@@ -20,12 +20,11 @@
 
 use mssp_isa::Instr;
 use mssp_machine::StepInfo;
-use serde::{Deserialize, Serialize};
 
 use crate::{BranchStats, Btb, Cache, CacheConfig, CacheStats, Gshare, GshareConfig};
 
 /// Instruction and penalty latencies, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// Simple ALU / branch / store issue latency.
     pub alu: u64,
@@ -58,7 +57,7 @@ impl Default for LatencyConfig {
 }
 
 /// Per-core cache/predictor geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,
@@ -82,7 +81,7 @@ impl Default for CoreConfig {
 }
 
 /// Aggregated core counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions costed.
     pub instructions: u64,
@@ -170,7 +169,11 @@ impl CorePipe {
         };
         // Instruction fetch.
         if !self.l1i.access(info.pc) {
-            cost += if l2(info.pc) { lat.l2_hit } else { lat.l2_hit + lat.mem };
+            cost += if l2(info.pc) {
+                lat.l2_hit
+            } else {
+                lat.l2_hit + lat.mem
+            };
         }
         // Data access.
         if let Some(mem) = info.mem {
@@ -189,9 +192,7 @@ impl CorePipe {
             }
         }
         // Indirect-jump target prediction (BTB).
-        if info.instr.is_indirect_jump()
-            && !self.btb.predict_and_update(info.pc, info.next_pc)
-        {
+        if info.instr.is_indirect_jump() && !self.btb.predict_and_update(info.pc, info.next_pc) {
             cost += lat.mispredict;
         }
         self.stats.instructions += 1;

@@ -149,7 +149,7 @@ pub fn fmt_count(v: u64) -> String {
     let digits = v.to_string();
     let mut out = String::new();
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -184,11 +184,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            &[("small".into(), 1.0), ("big".into(), 4.0)],
-            40,
-            "x",
-        );
+        let s = bar_chart(&[("small".into(), 1.0), ("big".into(), 4.0)], 40, "x");
         let lines: Vec<&str> = s.lines().collect();
         let bars: Vec<usize> = lines
             .iter()

@@ -48,10 +48,9 @@ use mssp_distill::Distilled;
 use mssp_isa::Program;
 use mssp_machine::{MachineState, SeqError, SeqMachine, StepInfo};
 use mssp_sim::{Cache, CacheConfig, CoreConfig, CorePipe, CoreStats};
-use serde::{Deserialize, Serialize};
 
 /// MSSP-specific protocol overheads, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverheadConfig {
     /// Master-side cost of taking a checkpoint.
     pub spawn: u64,
@@ -81,7 +80,7 @@ impl Default for OverheadConfig {
 }
 
 /// Full timing configuration of the simulated CMP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingConfig {
     /// Per-core configuration (identical for master, slaves, baseline).
     pub core: CoreConfig,
@@ -348,7 +347,7 @@ mod tests {
         let (p, _) = setup(DistillLevel::None);
         let base = run_baseline(&p, &TimingConfig::default(), u64::MAX).unwrap();
         let cpi = base.cpi();
-        assert!(cpi >= 1.0 && cpi < 10.0, "cpi {cpi}");
+        assert!((1.0..10.0).contains(&cpi), "cpi {cpi}");
     }
 
     #[test]

@@ -41,14 +41,16 @@ fn slower_memory_slows_the_baseline() {
 fn higher_overheads_never_speed_mssp_up() {
     let (p, d) = fixture();
     let cheap = TimingConfig::default();
-    let mut pricey = TimingConfig::default();
-    pricey.overhead = OverheadConfig {
-        spawn: 100,
-        dispatch: 200,
-        verify_base: 100,
-        commit_base: 100,
-        cells_per_cycle: 1,
-        squash: 400,
+    let pricey = TimingConfig {
+        overhead: OverheadConfig {
+            spawn: 100,
+            dispatch: 200,
+            verify_base: 100,
+            commit_base: 100,
+            cells_per_cycle: 1,
+            squash: 400,
+        },
+        ..TimingConfig::default()
     };
     let a = run_mssp(&p, &d, &cheap).unwrap();
     let b = run_mssp(&p, &d, &pricey).unwrap();

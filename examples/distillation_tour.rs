@@ -42,7 +42,10 @@ fn main() {
     .expect("distills");
 
     println!("\n--- original program ---\n{}", program.disassemble());
-    println!("--- distilled (aggressive) ---\n{}", aggressive.program().disassemble());
+    println!(
+        "--- distilled (aggressive) ---\n{}",
+        aggressive.program().disassemble()
+    );
     println!(
         "task boundaries: {:?} (every {} crossings = one task)",
         aggressive

@@ -11,9 +11,15 @@ use mssp::prelude::*;
 
 fn main() {
     // ---- Definition 8: superimposition algebra --------------------------
-    let s1: Delta = [(Cell::Mem(0), 1u64), (Cell::Mem(1), 2)].into_iter().collect();
-    let s2: Delta = [(Cell::Mem(1), 9u64), (Cell::Mem(2), 3)].into_iter().collect();
-    let s3: Delta = [(Cell::Mem(2), 4u64), (Cell::Pc, 0x40)].into_iter().collect();
+    let s1: Delta = [(Cell::Mem(0), 1u64), (Cell::Mem(1), 2)]
+        .into_iter()
+        .collect();
+    let s2: Delta = [(Cell::Mem(1), 9u64), (Cell::Mem(2), 3)]
+        .into_iter()
+        .collect();
+    let s3: Delta = [(Cell::Mem(2), 4u64), (Cell::Pc, 0x40)]
+        .into_iter()
+        .collect();
     assert_eq!(
         s1.superimpose(&s2).superimpose(&s3),
         s1.superimpose(&s2.superimpose(&s3)),

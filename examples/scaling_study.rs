@@ -7,7 +7,9 @@
 use mssp::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex_like".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vortex_like".into());
     let w = Workload::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}`; available:");
         for w in workloads() {

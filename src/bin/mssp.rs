@@ -67,7 +67,10 @@ fn load(target: &str, scale: Option<u64>) -> Result<Program, String> {
 }
 
 fn cmd_workloads() -> Result<(), String> {
-    println!("{:<14} {:<12} {:>10}  description", "name", "analog", "scale");
+    println!(
+        "{:<14} {:<12} {:>10}  description",
+        "name", "analog", "scale"
+    );
     for w in workloads() {
         println!(
             "{:<14} {:<12} {:>10}  {}",
@@ -124,7 +127,11 @@ fn cmd_profile(target: &str) -> Result<(), String> {
             pc,
             c.total(),
             c.bias().unwrap_or(0.0),
-            if c.mostly_taken() { "taken" } else { "not taken" }
+            if c.mostly_taken() {
+                "taken"
+            } else {
+                "not taken"
+            }
         );
     }
     Ok(())
@@ -165,7 +172,11 @@ fn cmd_exec(target: &str, slaves: Option<u64>) -> Result<(), String> {
         return Err("checksum mismatch — correctness bug".into());
     }
     let s = &mssp.run.stats;
-    println!("baseline: {:>12} cycles (CPI {:.2})", base.cycles, base.cpi());
+    println!(
+        "baseline: {:>12} cycles (CPI {:.2})",
+        base.cycles,
+        base.cpi()
+    );
     println!(
         "mssp:     {:>12} cycles with {} slaves  -> speedup {:.3}",
         mssp.run.cycles,

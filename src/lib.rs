@@ -58,7 +58,9 @@ pub use mssp_workloads as workloads;
 /// assemble/load → profile → distill → run (functional or timed).
 pub mod prelude {
     pub use mssp_analysis::{Cfg, Profile};
-    pub use mssp_core::{check_refinement, run_threaded, Engine, EngineConfig, EngineStats, MsspRun, UnitCost};
+    pub use mssp_core::{
+        check_refinement, run_threaded, Engine, EngineConfig, EngineStats, MsspRun, UnitCost,
+    };
     pub use mssp_distill::{distill, DistillConfig, DistillLevel, Distilled};
     pub use mssp_isa::{asm::assemble, Instr, Program, Reg};
     pub use mssp_machine::{Cell, Delta, MachineState, SeqMachine};

@@ -2,11 +2,14 @@
 //! independent of the master program — arbitrary code, arbitrary boundary
 //! maps, arbitrary boundary sets. This is the paper's decoupling theorem
 //! under fire: the fast path can be *anything* and only performance moves.
+//!
+//! Seeded with `mssp-testkit` (no crate registry in the build
+//! environment); a failing case prints its seed for replay.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use mssp::prelude::*;
-use proptest::prelude::*;
+use mssp_testkit::{check, Rng};
 
 fn reference() -> (Program, u64, u64) {
     let p = assemble(
@@ -33,35 +36,38 @@ fn reference() -> (Program, u64, u64) {
 
 /// A random "master" program: arbitrary ALU/branch soup ending in a
 /// spin loop (so it keeps producing garbage predictions forever).
-fn arb_master() -> impl Strategy<Value = String> {
-    proptest::collection::vec((0u8..5, 0u8..8, -500i64..500), 1..16).prop_map(|ops| {
-        let mut src = String::from("main:\n");
-        for (i, (op, reg, imm)) in ops.iter().enumerate() {
-            let r = reg + 4;
-            match op {
-                0 => src.push_str(&format!("  addi r{r}, r{r}, {imm}\n")),
-                1 => src.push_str(&format!("  xor  r{r}, r{r}, r{}\n", (reg + 1) % 8 + 4)),
-                2 => src.push_str(&format!("  li   t0, {}\n  sd   r{r}, 0(t0)\n", 0x280000 + (imm.unsigned_abs() % 512) * 8)),
-                3 => src.push_str(&format!("  mul  r{r}, r{r}, r{}\n", (reg + 3) % 8 + 4)),
-                _ => src.push_str(&format!(
-                    "  andi t1, r{r}, 7\n  beqz t1, sk{i}\n  addi r{r}, r{r}, 1\nsk{i}:\n"
-                )),
-            }
+fn arb_master(rng: &mut Rng) -> String {
+    let n = rng.gen_range(1, 16);
+    let mut src = String::from("main:\n");
+    for i in 0..n {
+        let op = rng.gen_range(0, 5);
+        let reg = rng.gen_range(0, 8);
+        let imm = rng.gen_range(0, 1000) as i64 - 500;
+        let r = reg + 4;
+        match op {
+            0 => src.push_str(&format!("  addi r{r}, r{r}, {imm}\n")),
+            1 => src.push_str(&format!("  xor  r{r}, r{r}, r{}\n", (reg + 1) % 8 + 4)),
+            2 => src.push_str(&format!(
+                "  li   t0, {}\n  sd   r{r}, 0(t0)\n",
+                0x280000 + (imm.unsigned_abs() % 512) * 8
+            )),
+            3 => src.push_str(&format!("  mul  r{r}, r{r}, r{}\n", (reg + 3) % 8 + 4)),
+            _ => src.push_str(&format!(
+                "  andi t1, r{r}, 7\n  beqz t1, sk{i}\n  addi r{r}, r{r}, 1\nsk{i}:\n"
+            )),
         }
-        src.push_str("spin: addi a7, a7, 1\n  j spin\n");
-        src
-    })
+    }
+    src.push_str("spin: addi a7, a7, 1\n  j spin\n");
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+#[test]
+fn any_master_any_boundaries_commits_correct_state() {
+    check(0xADD5_0001, 40, |rng| {
+        let master_src = arb_master(rng);
+        let map_loop = rng.gen_bool(1, 2);
+        let slaves = rng.gen_index(1, 6);
 
-    #[test]
-    fn any_master_any_boundaries_commits_correct_state(
-        master_src in arb_master(),
-        map_loop in any::<bool>(),
-        slaves in 1usize..6,
-    ) {
         let (p, expected, loop_pc) = reference();
         let master = assemble(&master_src).expect("master assembles");
         let mut map = BTreeMap::new();
@@ -77,16 +83,24 @@ proptest! {
             boundaries.insert(p.symbol("back").expect("label"));
         }
         let d = Distilled::from_parts(master, boundaries, map);
-        let cfg = EngineConfig { num_slaves: slaves, ..EngineConfig::default() };
-        let run = Engine::new(&p, &d, cfg, UnitCost).run().expect("terminates");
-        prop_assert_eq!(run.state.reg(Reg::S1), expected);
-    }
+        let cfg = EngineConfig {
+            num_slaves: slaves,
+            ..EngineConfig::default()
+        };
+        let run = Engine::new(&p, &d, cfg, UnitCost)
+            .run()
+            .expect("terminates");
+        assert_eq!(run.state.reg(Reg::S1), expected);
+    });
+}
 
-    #[test]
-    fn random_boundary_sets_are_harmless(
-        extra in proptest::collection::btree_set(0u64..200, 0..12),
-        n in 1u64..32,
-    ) {
+#[test]
+fn random_boundary_sets_are_harmless() {
+    check(0xADD5_0002, 40, |rng| {
+        let extra_n = rng.gen_range(0, 12);
+        let extra: BTreeSet<u64> = (0..extra_n).map(|_| rng.gen_range(0, 200)).collect();
+        let n = rng.gen_range(1, 32);
+
         let (p, expected, loop_pc) = reference();
         // Random boundary PCs across the text (some valid, some mid-block).
         let mut boundaries: BTreeSet<u64> =
@@ -95,11 +109,10 @@ proptest! {
         let dead = assemble("main: halt").unwrap();
         let mut map = BTreeMap::new();
         map.insert(p.entry(), dead.entry());
-        let d = Distilled::from_parts(dead, boundaries, map)
-            .with_crossings_per_task(n);
+        let d = Distilled::from_parts(dead, boundaries, map).with_crossings_per_task(n);
         let run = Engine::new(&p, &d, EngineConfig::default(), UnitCost)
             .run()
             .expect("terminates");
-        prop_assert_eq!(run.state.reg(Reg::S1), expected);
-    }
+        assert_eq!(run.state.reg(Reg::S1), expected);
+    });
 }

@@ -33,7 +33,11 @@ fn byte_writes_commit_exactly() {
         .unwrap();
     assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
     for w in (0x300000u64 >> 3)..((0x300000 + 4008) >> 3) {
-        assert_eq!(run.state.load_word(w), seq.state().load_word(w), "word {w:#x}");
+        assert_eq!(
+            run.state.load_word(w),
+            seq.state().load_word(w),
+            "word {w:#x}"
+        );
     }
 }
 

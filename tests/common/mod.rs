@@ -1,0 +1,49 @@
+//! Shared random-program generation for the workspace equivalence
+//! suites, seeded via `mssp-testkit`.
+
+use mssp_testkit::Rng;
+
+/// Generates a random but well-formed two-level loop nest with
+/// data-dependent branches and stack/heap memory traffic. Every
+/// generated program halts.
+pub fn arb_loop_nest(rng: &mut Rng) -> String {
+    let outer = rng.gen_range(2, 40);
+    let inner = rng.gen_range(1, 20);
+    let diamonds = rng.gen_range(0, 4);
+    let seed = rng.next_u64() as u16;
+    let body_len = rng.gen_range(1, 8);
+    let body: Vec<u64> = (0..body_len).map(|_| rng.gen_range(0, 6)).collect();
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "main:\n  addi s0, zero, {outer}\n  li   s2, 0x300000\n  li   s3, {seed}\n"
+    ));
+    src.push_str(&format!("outer:\n  addi s4, zero, {inner}\n"));
+    src.push_str("inner:\n");
+    for (i, op) in body.iter().enumerate() {
+        match op {
+            0 => src.push_str("  add  s1, s1, s3\n"),
+            1 => src.push_str("  mul  s3, s3, s0\n  addi s3, s3, 7\n"),
+            2 => src.push_str(&format!(
+                "  sd   s1, {}(s2)\n  ld   t1, {}(s2)\n  add  s1, s1, t1\n",
+                i * 8,
+                i * 8
+            )),
+            3 => src.push_str("  xor  s3, s3, s1\n"),
+            4 => src.push_str(&format!(
+                "  andi t2, s3, 1\n  beqz t2, skip{i}\n  addi s1, s1, 3\nskip{i}:\n"
+            )),
+            _ => src.push_str(&format!("  sb   s1, {}(s2)\n", 256 + i)),
+        }
+    }
+    for d in 0..diamonds {
+        src.push_str(&format!(
+            "  andi t3, s1, {}\n  bnez t3, d{d}\n  addi s3, s3, 1\nd{d}:\n",
+            (1u64 << (d + 1)) - 1
+        ));
+    }
+    src.push_str(
+        "  addi s4, s4, -1\n  bnez s4, inner\n  addi s0, s0, -1\n  bnez s0, outer\n  halt\n",
+    );
+    src
+}

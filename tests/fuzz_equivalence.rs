@@ -4,75 +4,32 @@
 //! machine's state. This is the strongest correctness net in the suite:
 //! it exercises distillation, task grouping, squash/recovery and the
 //! verify unit against arbitrary program shapes.
+//!
+//! Seeded with `mssp-testkit` (no crate registry in the build
+//! environment); a failing case prints its seed for replay.
 
+mod common;
+
+use common::arb_loop_nest;
 use mssp::prelude::*;
-use proptest::prelude::*;
+use mssp_testkit::check;
 
-/// Generates a random but well-formed two-level loop nest with
-/// data-dependent branches and stack traffic.
-fn arb_program() -> impl Strategy<Value = String> {
-    (
-        2u64..40,            // outer trip count
-        1u64..20,            // inner trip count
-        0u64..4,             // number of conditional diamonds
-        any::<u16>(),        // seed-ish constant
-        proptest::collection::vec(0u8..6, 1..8), // body ops
-    )
-        .prop_map(|(outer, inner, diamonds, seed, body)| {
-            let mut src = String::new();
-            src.push_str(&format!(
-                "main:\n  addi s0, zero, {outer}\n  li   s2, 0x300000\n  li   s3, {seed}\n"
-            ));
-            src.push_str("outer:\n  addi s4, zero, ");
-            src.push_str(&format!("{inner}\n"));
-            src.push_str("inner:\n");
-            for (i, op) in body.iter().enumerate() {
-                match op {
-                    0 => src.push_str("  add  s1, s1, s3\n"),
-                    1 => src.push_str("  mul  s3, s3, s0\n  addi s3, s3, 7\n"),
-                    2 => src.push_str(&format!(
-                        "  sd   s1, {}(s2)\n  ld   t1, {}(s2)\n  add  s1, s1, t1\n",
-                        i * 8,
-                        i * 8
-                    )),
-                    3 => src.push_str("  xor  s3, s3, s1\n"),
-                    4 => src.push_str(&format!(
-                        "  andi t2, s3, 1\n  beqz t2, skip{i}\n  addi s1, s1, 3\nskip{i}:\n"
-                    )),
-                    _ => src.push_str(&format!("  sb   s1, {}(s2)\n", 256 + i)),
-                }
-            }
-            for d in 0..diamonds {
-                src.push_str(&format!(
-                    "  andi t3, s1, {}\n  bnez t3, d{d}\n  addi s3, s3, 1\nd{d}:\n",
-                    (1 << (d + 1)) - 1
-                ));
-            }
-            src.push_str(
-                "  addi s4, s4, -1\n  bnez s4, inner\n  addi s0, s0, -1\n  bnez s0, outer\n  halt\n",
-            );
-            src
-        })
-}
+#[test]
+fn random_programs_commit_sequential_state() {
+    check(0xF022_0001, 48, |rng| {
+        let src = arb_loop_nest(rng);
+        let slaves = rng.gen_index(1, 9);
+        let target = *rng.choose(&[8u64, 64, 256, 1024]);
+        let level = *rng.choose(&[
+            DistillLevel::None,
+            DistillLevel::Conservative,
+            DistillLevel::Aggressive,
+        ]);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_commit_sequential_state(
-        src in arb_program(),
-        slaves in 1usize..9,
-        target in prop_oneof![Just(8u64), Just(64), Just(256), Just(1024)],
-        level in prop_oneof![
-            Just(DistillLevel::None),
-            Just(DistillLevel::Conservative),
-            Just(DistillLevel::Aggressive),
-        ],
-    ) {
         let program = assemble(&src).expect("generated programs assemble");
         let mut seq = SeqMachine::boot(&program);
         seq.run(20_000_000).expect("no faults");
-        prop_assume!(seq.halted());
+        assert!(seq.halted(), "generated programs halt within bound");
 
         let profile = Profile::collect(&program, u64::MAX).expect("profiles");
         let dcfg = DistillConfig {
@@ -92,11 +49,11 @@ proptest! {
         check_refinement(&program, &run).expect("refinement holds");
 
         // Full-state equivalence: registers and all touched memory.
-        prop_assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
-        prop_assert_eq!(run.state.reg(Reg::S3), seq.state().reg(Reg::S3));
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        assert_eq!(run.state.reg(Reg::S3), seq.state().reg(Reg::S3));
         for w in (0x300000u64 >> 3)..(0x300000u64 >> 3) + 64 {
-            prop_assert_eq!(run.state.load_word(w), seq.state().load_word(w));
+            assert_eq!(run.state.load_word(w), seq.state().load_word(w));
         }
-        prop_assert_eq!(run.stats.committed_instructions, seq.instructions());
-    }
+        assert_eq!(run.stats.committed_instructions, seq.instructions());
+    });
 }

@@ -16,14 +16,27 @@ fn measure(name: &str, level: DistillLevel) -> (f64, f64, u64) {
     let mssp = timed_mssp(&program, &d, &tcfg).unwrap();
     let s = &mssp.run.stats;
     let ratio = s.master_instructions as f64 / s.committed_instructions as f64;
-    (speedup(base.cycles, mssp.run.cycles), ratio, s.squash_events())
+    (
+        speedup(base.cycles, mssp.run.cycles),
+        ratio,
+        s.squash_events(),
+    )
 }
 
 #[test]
 fn distillable_workloads_beat_baseline() {
-    for name in ["gap_like", "vortex_like", "crafty_like", "gzip_like", "bzip2_like"] {
+    for name in [
+        "gap_like",
+        "vortex_like",
+        "crafty_like",
+        "gzip_like",
+        "bzip2_like",
+    ] {
         let (speed, _, _) = measure(name, DistillLevel::Aggressive);
-        assert!(speed > 1.05, "{name}: speedup {speed:.3} regressed below 1.05");
+        assert!(
+            speed > 1.05,
+            "{name}: speedup {speed:.3} regressed below 1.05"
+        );
     }
 }
 
@@ -31,7 +44,10 @@ fn distillable_workloads_beat_baseline() {
 fn gap_like_is_the_best_case_near_paper_max() {
     let (speed, ratio, _) = measure("gap_like", DistillLevel::Aggressive);
     assert!(speed > 1.4, "gap speedup {speed:.3}");
-    assert!(ratio < 0.7, "gap distilled ratio {ratio:.3} should be strong");
+    assert!(
+        ratio < 0.7,
+        "gap distilled ratio {ratio:.3} should be strong"
+    );
 }
 
 #[test]
@@ -51,8 +67,14 @@ fn aggressiveness_monotonically_helps_on_distillable_code() {
     let (none, _, sq_none) = measure("gap_like", DistillLevel::None);
     let (cons, _, _) = measure("gap_like", DistillLevel::Conservative);
     let (aggr, _, _) = measure("gap_like", DistillLevel::Aggressive);
-    assert!(cons >= none * 0.98, "conservative {cons:.3} < none {none:.3}");
-    assert!(aggr > cons, "aggressive {aggr:.3} <= conservative {cons:.3}");
+    assert!(
+        cons >= none * 0.98,
+        "conservative {cons:.3} < none {none:.3}"
+    );
+    assert!(
+        aggr > cons,
+        "aggressive {aggr:.3} <= conservative {cons:.3}"
+    );
     assert_eq!(sq_none, 0, "the identity master must never misspeculate");
 }
 
@@ -80,6 +102,9 @@ fn more_slaves_never_hurt_much_and_help_somewhere() {
     let one = run_with(1);
     let seven = run_with(7);
     let fifteen = run_with(15);
-    assert!(seven > one, "scaling broken: 7 slaves {seven:.3} <= 1 slave {one:.3}");
+    assert!(
+        seven > one,
+        "scaling broken: 7 slaves {seven:.3} <= 1 slave {one:.3}"
+    );
     assert!(fifteen >= seven * 0.95, "16 cores should not collapse");
 }
