@@ -5,7 +5,12 @@
 //!
 //! * [`Cfg`] — control-flow graph recovery from a binary.
 //! * [`Dominators`] / [`natural_loops`] — dominance and loop structure.
-//! * [`Liveness`] — backward register liveness (for dead-code elimination).
+//! * [`Analysis`] / [`solve`] — a generic forward/backward worklist
+//!   dataflow framework over [`Cfg`]s.
+//! * [`Liveness`] — backward register liveness (for dead-code elimination),
+//!   an instance of the framework.
+//! * [`ReachingDefs`] / [`ConstProp`] — forward reaching-definitions and
+//!   constant propagation (for the static soundness linter).
 //! * [`Profile`] — dynamic edge/branch/instruction profiles from a
 //!   training run (the distiller is profile-guided, as in the paper).
 //!
@@ -26,7 +31,7 @@
 //! let dom = Dominators::compute(&cfg);
 //! assert_eq!(natural_loops(&cfg, &dom).len(), 1);
 //!
-//! let profile = Profile::collect(&program, u64::MAX).unwrap();
+//! let profile = Profile::collect(&program, Profile::UNBOUNDED).unwrap();
 //! assert!(profile.weighted_branch_bias().unwrap() > 0.9);
 //! ```
 
@@ -34,11 +39,16 @@
 #![warn(rust_2018_idioms)]
 
 mod cfg;
+mod dataflow;
 mod dom;
 mod live;
 mod profile;
 
 pub use cfg::{BasicBlock, BlockId, Cfg, Terminator};
+pub use dataflow::{
+    solve, Analysis, ConstFacts, ConstProp, ConstVal, DataflowResults, DefSites, Direction,
+    ReachingDefs,
+};
 pub use dom::{loop_depths, natural_loops, Dominators, NaturalLoop};
 pub use live::{Liveness, RegSet};
 pub use profile::{BranchCounts, Profile};

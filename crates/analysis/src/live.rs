@@ -11,11 +11,10 @@
 //! as live-out, because the whole final register file is the program's
 //! observable result.
 
-use std::collections::BTreeMap;
+use mssp_isa::{Instr, Program, Reg, NUM_REGS};
 
-use mssp_isa::{Program, Reg, NUM_REGS};
-
-use crate::{BlockId, Cfg, Terminator};
+use crate::dataflow::{solve, Analysis, DataflowResults, Direction};
+use crate::Cfg;
 
 /// A set of registers, represented as a 32-bit mask.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -110,44 +109,53 @@ impl FromIterator<Reg> for RegSet {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Liveness {
-    live_out: BTreeMap<u64, RegSet>,
-    live_in: BTreeMap<u64, RegSet>,
+    results: DataflowResults<RegSet>,
+}
+
+/// May-liveness as a [`Analysis`] instance: backward, union join, all-live
+/// at `Halt`/`Indirect` exits.
+struct LiveAnalysis;
+
+impl Analysis for LiveAnalysis {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn init(&self) -> RegSet {
+        RegSet::empty()
+    }
+
+    fn boundary(&self) -> RegSet {
+        RegSet::all()
+    }
+
+    fn join(&self, into: &mut RegSet, other: &RegSet) -> bool {
+        let merged = into.union(*other);
+        let changed = merged != *into;
+        *into = merged;
+        changed
+    }
+
+    fn transfer(&self, _pc: u64, instr: Instr, live: &mut RegSet) {
+        if let Some(rd) = instr.def_reg() {
+            live.remove(rd);
+        }
+        for r in instr.use_regs().into_iter().flatten() {
+            if !r.is_zero() {
+                live.insert(r);
+            }
+        }
+    }
 }
 
 impl Liveness {
     /// Computes backward liveness over the CFG of `program`.
     #[must_use]
     pub fn compute(program: &Program, cfg: &Cfg) -> Liveness {
-        let nblocks = cfg.blocks().len();
-        // Fixpoint over block-level live-in sets.
-        let mut block_live_in: Vec<RegSet> = vec![RegSet::empty(); nblocks];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for bid in (0..nblocks).rev() {
-                let live_out = block_exit_liveness(cfg, bid, &block_live_in);
-                let live_in = transfer_block(program, cfg, bid, live_out);
-                if live_in != block_live_in[bid] {
-                    block_live_in[bid] = live_in;
-                    changed = true;
-                }
-            }
-        }
-        // One more backward sweep, recording per-instruction live sets.
-        let mut live_out_map = BTreeMap::new();
-        let mut live_in_map = BTreeMap::new();
-        for bid in 0..nblocks {
-            let mut live = block_exit_liveness(cfg, bid, &block_live_in);
-            let block = &cfg.blocks()[bid];
-            for pc in block.pcs().collect::<Vec<_>>().into_iter().rev() {
-                live_out_map.insert(pc, live);
-                live = transfer_instr(program, pc, live);
-                live_in_map.insert(pc, live);
-            }
-        }
         Liveness {
-            live_out: live_out_map,
-            live_in: live_in_map,
+            results: solve(program, cfg, &LiveAnalysis),
         }
     }
 
@@ -160,7 +168,7 @@ impl Liveness {
     /// Returns the conservative all-live set for unanalyzed addresses.
     #[must_use]
     pub fn live_in(&self, pc: u64) -> RegSet {
-        self.live_in.get(&pc).copied().unwrap_or_else(RegSet::all)
+        self.results.before(pc).copied().unwrap_or_else(RegSet::all)
     }
 
     /// The registers live immediately after the instruction at `pc`.
@@ -169,7 +177,7 @@ impl Liveness {
     /// analyzed text.
     #[must_use]
     pub fn live_out(&self, pc: u64) -> RegSet {
-        self.live_out.get(&pc).copied().unwrap_or_else(RegSet::all)
+        self.results.after(pc).copied().unwrap_or_else(RegSet::all)
     }
 
     /// Whether the write performed by the instruction at `pc` (if any) is
@@ -181,43 +189,6 @@ impl Liveness {
             None => false,
         }
     }
-}
-
-fn block_exit_liveness(cfg: &Cfg, bid: BlockId, block_live_in: &[RegSet]) -> RegSet {
-    match cfg.blocks()[bid].terminator {
-        // Unknown successors or program exit: everything is live.
-        Terminator::Indirect | Terminator::Halt => RegSet::all(),
-        _ => cfg
-            .successors(bid)
-            .into_iter()
-            .fold(RegSet::empty(), |acc, s| acc.union(block_live_in[s])),
-    }
-}
-
-fn transfer_block(program: &Program, cfg: &Cfg, bid: BlockId, exit_live: RegSet) -> RegSet {
-    let mut live = exit_live;
-    for pc in cfg.blocks()[bid]
-        .pcs()
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-    {
-        live = transfer_instr(program, pc, live);
-    }
-    live
-}
-
-fn transfer_instr(program: &Program, pc: u64, mut live: RegSet) -> RegSet {
-    let instr = program.fetch(pc).expect("pc within text");
-    if let Some(rd) = instr.def_reg() {
-        live.remove(rd);
-    }
-    for r in instr.use_regs().into_iter().flatten() {
-        if !r.is_zero() {
-            live.insert(r);
-        }
-    }
-    live
 }
 
 #[cfg(test)]

@@ -80,6 +80,21 @@ pub struct Profile {
 }
 
 impl Profile {
+    /// Step budget meaning "run the training program to completion":
+    /// [`Profile::collect`] with this bound never cuts a run short.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mssp_isa::asm::assemble;
+    /// use mssp_analysis::Profile;
+    ///
+    /// let p = assemble("main: halt").unwrap();
+    /// let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
+    /// assert_eq!(profile.dynamic_instructions(), 0);
+    /// ```
+    pub const UNBOUNDED: u64 = u64::MAX;
+
     /// An empty profile (used when distilling without training data).
     #[must_use]
     pub fn empty() -> Profile {

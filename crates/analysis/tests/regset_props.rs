@@ -1,0 +1,108 @@
+//! Property tests for `RegSet`, the bit-set the dataflow framework joins
+//! millions of times per solve. Each property cross-checks the bit-set
+//! against a reference `BTreeSet<Reg>` model under random operation
+//! sequences, using the workspace's seeded `mssp-testkit` runner.
+
+use std::collections::BTreeSet;
+
+use mssp_analysis::RegSet;
+use mssp_isa::{Reg, NUM_REGS};
+use mssp_testkit::{check, Rng};
+
+/// Draws a random register (any of the 32, including `zero`).
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_index(0, NUM_REGS) as u8)
+}
+
+/// Builds a random set plus its reference model.
+fn random_set(rng: &mut Rng) -> (RegSet, BTreeSet<Reg>) {
+    let mut set = RegSet::empty();
+    let mut model = BTreeSet::new();
+    for _ in 0..rng.gen_index(0, 2 * NUM_REGS) {
+        let r = any_reg(rng);
+        set.insert(r);
+        model.insert(r);
+    }
+    (set, model)
+}
+
+fn assert_matches_model(set: RegSet, model: &BTreeSet<Reg>) {
+    assert_eq!(set.len(), model.len());
+    assert_eq!(set.is_empty(), model.is_empty());
+    for r in Reg::all() {
+        assert_eq!(set.contains(r), model.contains(&r), "disagree on {r}");
+    }
+    let listed: Vec<Reg> = set.iter().collect();
+    let expected: Vec<Reg> = model.iter().copied().collect();
+    assert_eq!(listed, expected, "iter() must yield index order");
+}
+
+#[test]
+fn insert_remove_tracks_reference_model() {
+    check(0x5e75_0001, 200, |rng| {
+        let mut set = RegSet::empty();
+        let mut model = BTreeSet::new();
+        for _ in 0..200 {
+            let r = any_reg(rng);
+            if rng.gen_bool(2, 3) {
+                set.insert(r);
+                model.insert(r);
+            } else {
+                set.remove(r);
+                model.remove(&r);
+            }
+            assert_matches_model(set, &model);
+        }
+    });
+}
+
+#[test]
+fn union_is_setwise() {
+    check(0x5e75_0002, 300, |rng| {
+        let (a, ma) = random_set(rng);
+        let (b, mb) = random_set(rng);
+        let expected: BTreeSet<Reg> = ma.union(&mb).copied().collect();
+        assert_matches_model(a.union(b), &expected);
+    });
+}
+
+#[test]
+fn union_is_commutative_associative_idempotent() {
+    check(0x5e75_0003, 300, |rng| {
+        let (a, _) = random_set(rng);
+        let (b, _) = random_set(rng);
+        let (c, _) = random_set(rng);
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        assert_eq!(a.union(a), a);
+        assert_eq!(a.union(RegSet::empty()), a);
+        assert_eq!(a.union(RegSet::all()), RegSet::all());
+    });
+}
+
+#[test]
+fn insert_then_remove_roundtrips() {
+    check(0x5e75_0004, 300, |rng| {
+        let (mut set, mut model) = random_set(rng);
+        let r = any_reg(rng);
+        let had = set.contains(r);
+        set.insert(r);
+        assert!(set.contains(r));
+        set.remove(r);
+        assert!(!set.contains(r));
+        if !had {
+            model.remove(&r);
+            assert_matches_model(set, &model);
+        }
+    });
+}
+
+#[test]
+fn all_and_empty_are_extremes() {
+    assert_eq!(RegSet::all().len(), NUM_REGS);
+    assert_eq!(RegSet::empty().len(), 0);
+    for r in Reg::all() {
+        assert!(RegSet::all().contains(r));
+        assert!(!RegSet::empty().contains(r));
+    }
+}

@@ -309,7 +309,7 @@ struct Recovery {
 ///            bnez s0, loop
 ///            halt",
 /// ).unwrap();
-/// let profile = Profile::collect(&p, u64::MAX).unwrap();
+/// let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
 /// let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
 ///
 /// let run = Engine::new(&p, &d, EngineConfig::default(), UnitCost)

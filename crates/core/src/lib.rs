@@ -29,7 +29,7 @@
 //!            bnez s0, loop
 //!            halt",
 //! ).unwrap();
-//! let profile = Profile::collect(&program, u64::MAX).unwrap();
+//! let profile = Profile::collect(&program, Profile::UNBOUNDED).unwrap();
 //! let distilled = distill(&program, &profile, &DistillConfig::default()).unwrap();
 //!
 //! let run = Engine::new(&program, &distilled, EngineConfig::default(), UnitCost)

@@ -35,7 +35,7 @@ use mssp_isa::Program;
 /// ).unwrap();
 /// let cfg = Cfg::build(&p);
 /// let dom = Dominators::compute(&cfg);
-/// let profile = Profile::collect(&p, u64::MAX).unwrap();
+/// let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
 /// let b = select_boundaries(&p, &cfg, &dom, &profile, 100);
 /// assert!(b.contains(&p.symbol("loop").unwrap()));
 /// ```
@@ -121,7 +121,7 @@ mod tests {
         let p = assemble(src).unwrap();
         let cfg = Cfg::build(&p);
         let dom = Dominators::compute(&cfg);
-        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let prof = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
         (p, cfg, dom, prof)
     }
 
@@ -165,6 +165,22 @@ mod tests {
     fn straight_line_program_falls_back_to_entry() {
         let (p, cfg, dom, prof) = setup("main: addi a0, zero, 1\n halt");
         let b = select_boundaries(&p, &cfg, &dom, &prof, 100);
+        assert_eq!(b, BTreeSet::from([p.entry()]));
+    }
+
+    #[test]
+    fn untrained_profile_degenerates_to_entry_only() {
+        // Even a loopy program degenerates to the entry-only boundary set
+        // when no training data exists: every candidate has zero recorded
+        // crossings, so MSSP silently falls back to sequential operation.
+        // The `degenerate-boundary-set` lint exists to make this audible.
+        let (p, cfg, dom, _) = setup(
+            "main:  addi s0, zero, 9
+             loop:  addi s0, s0, -1
+                    bnez s0, loop
+                    halt",
+        );
+        let b = select_boundaries(&p, &cfg, &dom, &Profile::empty(), 100);
         assert_eq!(b, BTreeSet::from([p.entry()]));
     }
 

@@ -39,6 +39,10 @@ pub enum DistillError {
     BranchOutOfRange(u64),
     /// The distilled text would overlap the data segment.
     DoesNotFit,
+    /// Validation found error-severity soundness violations in the
+    /// distilled output; each entry is one rendered diagnostic. Produced
+    /// by `mssp-lint`'s `distill_validated`, never by plain [`distill`].
+    Unsound(Vec<String>),
 }
 
 impl fmt::Display for DistillError {
@@ -49,6 +53,15 @@ impl fmt::Display for DistillError {
             }
             DistillError::DoesNotFit => {
                 write!(f, "distilled text overlaps the data segment")
+            }
+            DistillError::Unsound(findings) => {
+                write!(
+                    f,
+                    "distilled output is unsound ({} finding{}): {}",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    findings.join("; ")
+                )
             }
         }
     }
@@ -181,6 +194,13 @@ impl Distilled {
         self.boundary_dist.get(&dist_pc).copied()
     }
 
+    /// Iterates over the full original → distilled block-start
+    /// correspondence, in original-address order. This is the linter's
+    /// window into which blocks the distiller retained.
+    pub fn iter_pc_map(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.orig_to_dist.iter().map(|(&o, &d)| (o, d))
+    }
+
     /// Distillation statistics.
     #[must_use]
     pub fn stats(&self) -> DistillStats {
@@ -277,7 +297,7 @@ impl std::error::Error for DistilledRunError {}
 ///            bnez a0, loop
 ///            halt",
 /// ).unwrap();
-/// let profile = Profile::collect(&p, u64::MAX).unwrap();
+/// let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
 /// let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
 /// assert!(!d.boundaries().is_empty());
 /// ```

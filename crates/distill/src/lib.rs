@@ -30,7 +30,7 @@
 //!             j loop",
 //! ).unwrap();
 //!
-//! let profile = Profile::collect(&program, u64::MAX).unwrap();
+//! let profile = Profile::collect(&program, Profile::UNBOUNDED).unwrap();
 //! let d = distill(&program, &profile, &DistillConfig::at_level(DistillLevel::Aggressive)).unwrap();
 //! assert!(d.stats().distilled_static < d.stats().original_static);
 //! ```

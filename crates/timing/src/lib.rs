@@ -31,7 +31,7 @@
 //!            bnez s0, loop
 //!            halt",
 //! ).unwrap();
-//! let profile = Profile::collect(&p, u64::MAX).unwrap();
+//! let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
 //! let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
 //!
 //! let cfg = TimingConfig::default();
@@ -324,7 +324,7 @@ mod tests {
 
     fn setup(level: DistillLevel) -> (Program, Distilled) {
         let p = assemble(BIASED).unwrap();
-        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let prof = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
         let cfg = DistillConfig {
             target_task_size: 200,
             ..DistillConfig::at_level(level)

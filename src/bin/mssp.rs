@@ -7,8 +7,13 @@
 //! mssp run <file.s|workload> [scale]     sequential execution
 //! mssp profile <file.s|workload>         dynamic profile summary
 //! mssp distill <file.s|workload>         show distillation at all levels
+//! mssp lint <file.s|workload|all> [--json]
+//!                                        statically check distilled output
 //! mssp exec <file.s|workload> [slaves]   full MSSP timing run vs baseline
 //! ```
+//!
+//! `lint` exits non-zero if any error-severity finding is reported;
+//! `lint all` checks every bundled workload.
 
 use std::process::ExitCode;
 
@@ -22,11 +27,12 @@ fn main() -> ExitCode {
         Some("run") => with_arg(&args, |t| cmd_run(t, scale_arg(&args))),
         Some("profile") => with_arg(&args, cmd_profile),
         Some("distill") => with_arg(&args, cmd_distill),
+        Some("lint") => with_arg(&args, |t| cmd_lint(t, args.iter().any(|a| a == "--json"))),
         Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
         _ => {
             eprintln!(
-                "usage: mssp <workloads|asm|run|profile|distill|exec> [target] [n]\n\
-                 target: an .s file or a bundled workload name"
+                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n|--json]\n\
+                 target: an .s file or a bundled workload name (`lint` also accepts `all`)"
             );
             return ExitCode::FAILURE;
         }
@@ -154,6 +160,38 @@ fn cmd_distill(target: &str) -> Result<(), String> {
             d.boundaries().len(),
             d.crossings_per_task(),
         );
+    }
+    Ok(())
+}
+
+/// Statically checks the distillation of one target (or, for `all`, of
+/// every bundled workload) and reports findings. Error-severity findings
+/// fail the command.
+fn cmd_lint(target: &str, json: bool) -> Result<(), String> {
+    let targets: Vec<String> = if target == "all" {
+        workloads().iter().map(|w| w.name.to_string()).collect()
+    } else {
+        vec![target.to_string()]
+    };
+    let mut total_errors = 0;
+    for t in &targets {
+        let p = load(t, None)?;
+        let prof = Profile::collect(&p, Profile::UNBOUNDED).map_err(|e| e.to_string())?;
+        let d = distill(&p, &prof, &DistillConfig::default()).map_err(|e| e.to_string())?;
+        let report = lint(&p, &d, &prof, &LintConfig::default());
+        if json {
+            println!("{{\"target\":\"{t}\",\"report\":{}}}", report.render_json());
+        } else {
+            println!("== {t} ==");
+            print!("{}", report.render_text());
+        }
+        total_errors += report.errors();
+    }
+    if total_errors > 0 {
+        return Err(format!(
+            "{total_errors} error-severity finding(s) across {} target(s)",
+            targets.len()
+        ));
     }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //!   sequential reference semantics.
 //! * [`analysis`] — CFGs, dominators, liveness, dynamic profiles.
 //! * [`distill`] — the profile-guided program distiller.
+//! * [`lint`] — the static soundness checker for distilled output.
 //! * [`core`] — the MSSP engine (tasks, master, verify/commit).
 //! * [`sim`] — caches, branch predictors, core latency pipelines.
 //! * [`timing`] — the CMP timing model and the baseline uniprocessor.
@@ -48,6 +49,7 @@ pub use mssp_analysis as analysis;
 pub use mssp_core as core;
 pub use mssp_distill as distill;
 pub use mssp_isa as isa;
+pub use mssp_lint as lint;
 pub use mssp_machine as machine;
 pub use mssp_sim as sim;
 pub use mssp_stats as stats;
@@ -62,7 +64,8 @@ pub mod prelude {
         check_refinement, run_threaded, Engine, EngineConfig, EngineStats, MsspRun, UnitCost,
     };
     pub use mssp_distill::{distill, DistillConfig, DistillLevel, Distilled};
-    pub use mssp_isa::{asm::assemble, Instr, Program, Reg};
+    pub use mssp_isa::{asm::assemble, Instr, PcSpan, Program, Reg};
+    pub use mssp_lint::{distill_validated, lint, LintConfig, LintId, Report, Severity};
     pub use mssp_machine::{Cell, Delta, MachineState, SeqMachine};
     pub use mssp_timing::{run_baseline, run_mssp, speedup, TimingConfig};
     pub use mssp_workloads::{workloads, Workload, CHECKSUM_REG};

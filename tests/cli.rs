@@ -59,6 +59,34 @@ fn distill_prints_all_levels() {
 }
 
 #[test]
+fn lint_is_clean_on_a_workload() {
+    let (stdout, _, ok) = mssp(&["lint", "gzip_like"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("== gzip_like =="));
+    assert!(stdout.contains("0 errors"));
+}
+
+#[test]
+fn lint_all_emits_json_per_workload() {
+    let (stdout, _, ok) = mssp(&["lint", "all", "--json"]);
+    assert!(ok, "{stdout}");
+    // One JSON object per bundled workload, all error-free.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines.len() >= 10, "expected every workload, got {lines:?}");
+    for line in lines {
+        assert!(line.starts_with("{\"target\":\""), "{line}");
+        assert!(line.contains("\"errors\":0"), "{line}");
+    }
+}
+
+#[test]
+fn lint_rejects_unknown_target() {
+    let (_, stderr, ok) = mssp(&["lint", "no_such_thing"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
 fn unknown_target_fails_cleanly() {
     let (_, stderr, ok) = mssp(&["run", "no_such_thing"]);
     assert!(!ok);
