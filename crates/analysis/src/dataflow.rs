@@ -448,7 +448,14 @@ impl ConstFacts {
     }
 }
 
-struct ConstPropAnalysis;
+/// The constant-propagation [`Analysis`] instance.
+///
+/// Exported (alongside [`CopyPropAnalysis`]) so clients with their own
+/// CFG-like structures — the distiller's relocatable IR in particular —
+/// can drive the same lattice and transfer functions through a custom
+/// solver instead of [`solve`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstPropAnalysis;
 
 impl Analysis for ConstPropAnalysis {
     type Fact = ConstFacts;
@@ -561,6 +568,50 @@ fn eval(pc: u64, instr: Instr, facts: &ConstFacts) -> ConstVal {
     }
 }
 
+/// Evaluates a conditional branch's outcome under the given constant
+/// facts: `Some(taken)` when both operands are known, `None` when either
+/// operand varies (or the instruction is not a branch).
+///
+/// The distiller's constant-folding pass uses this to collapse branches
+/// whose direction is decided on the asserted CFG.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::asm::assemble;
+/// use mssp_isa::{Instr, Reg};
+/// use mssp_analysis::{eval_branch, Cfg, ConstProp};
+///
+/// let p = assemble("main: addi a0, zero, 3\n beqz a0, main\n halt").unwrap();
+/// let c = ConstProp::compute(&p, &Cfg::build(&p));
+/// let facts = c.before(p.entry() + 4).unwrap();
+/// // a0 == 3, so `beqz a0` is decidedly not taken.
+/// assert_eq!(eval_branch(Instr::Beq(Reg::A0, Reg::ZERO, -8), facts), Some(false));
+/// ```
+#[must_use]
+pub fn eval_branch(instr: Instr, facts: &ConstFacts) -> Option<bool> {
+    use Instr::*;
+    let (a, b) = match instr {
+        Beq(a, b, _)
+        | Bne(a, b, _)
+        | Blt(a, b, _)
+        | Bge(a, b, _)
+        | Bltu(a, b, _)
+        | Bgeu(a, b, _) => (a, b),
+        _ => return None,
+    };
+    let (x, y) = (facts.get(a).as_const()?, facts.get(b).as_const()?);
+    Some(match instr {
+        Beq(..) => x == y,
+        Bne(..) => x != y,
+        Blt(..) => (x as i64) < (y as i64),
+        Bge(..) => (x as i64) >= (y as i64),
+        Bltu(..) => x < y,
+        Bgeu(..) => x >= y,
+        _ => unreachable!("matched above"),
+    })
+}
+
 /// Forward constant propagation over a program's CFG.
 ///
 /// Used by the linter to resolve materialized code addresses (`li`
@@ -601,6 +652,12 @@ impl ConstProp {
         self.results.before(pc)
     }
 
+    /// The facts holding just after the instruction at `pc`.
+    #[must_use]
+    pub fn after(&self, pc: u64) -> Option<&ConstFacts> {
+        self.results.after(pc)
+    }
+
     /// The lattice value of `r` just before `pc` executes
     /// ([`ConstVal::Varying`] for unanalyzed addresses).
     #[must_use]
@@ -633,6 +690,216 @@ impl ConstProp {
             }
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation
+// ---------------------------------------------------------------------------
+
+/// The copy-propagation lattice for one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyVal {
+    /// No path has assigned the register yet (optimistic top).
+    Unknown,
+    /// On every path, the register currently holds the same value as the
+    /// named register (whose own definition is still live).
+    Of(Reg),
+    /// Paths disagree, the value is original, or the copy source was
+    /// overwritten.
+    Fresh,
+}
+
+impl CopyVal {
+    fn join(self, other: CopyVal) -> CopyVal {
+        match (self, other) {
+            (CopyVal::Unknown, x) | (x, CopyVal::Unknown) => x,
+            (CopyVal::Of(a), CopyVal::Of(b)) if a == b => self,
+            _ => CopyVal::Fresh,
+        }
+    }
+
+    /// The copy source, if this register is a live copy.
+    #[must_use]
+    pub fn source(self) -> Option<Reg> {
+        match self {
+            CopyVal::Of(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Per-register copy relations at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyFacts {
+    vals: [CopyVal; NUM_REGS],
+}
+
+impl CopyFacts {
+    /// The lattice value of `r` (the zero register is never a copy).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> CopyVal {
+        if r.is_zero() {
+            CopyVal::Fresh
+        } else {
+            self.vals[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: CopyVal) {
+        if !r.is_zero() {
+            self.vals[r.index()] = v;
+        }
+    }
+
+    /// Invalidates every copy whose source is `killed`, then records the
+    /// new binding for `killed` itself.
+    fn kill_and_bind(&mut self, killed: Reg, binding: CopyVal) {
+        for v in &mut self.vals {
+            if *v == CopyVal::Of(killed) {
+                *v = CopyVal::Fresh;
+            }
+        }
+        self.set(killed, binding);
+    }
+}
+
+/// If `instr` is a register-to-register move, the `(dest, source)` pair.
+///
+/// Recognized forms: `addi rd, rs, 0`, and `add`/`or`/`xor` of `rs` with
+/// the zero register (both operand orders). `ori`/`xori` with immediate 0
+/// also qualify because logical immediates zero-extend.
+#[must_use]
+pub fn as_reg_copy(instr: Instr) -> Option<(Reg, Reg)> {
+    use Instr::*;
+    let (rd, rs) = match instr {
+        Addi(rd, rs, 0) | Ori(rd, rs, 0) | Xori(rd, rs, 0) => (rd, rs),
+        Add(rd, a, b) | Or(rd, a, b) | Xor(rd, a, b) => {
+            if b.is_zero() {
+                (rd, a)
+            } else if a.is_zero() {
+                (rd, b)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    if rd.is_zero() || rd == rs {
+        None
+    } else {
+        Some((rd, rs))
+    }
+}
+
+/// The copy-propagation [`Analysis`] instance (see [`ConstPropAnalysis`]
+/// for why the instance itself is public).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopyPropAnalysis;
+
+impl Analysis for CopyPropAnalysis {
+    type Fact = CopyFacts;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self) -> CopyFacts {
+        CopyFacts {
+            vals: [CopyVal::Unknown; NUM_REGS],
+        }
+    }
+
+    fn boundary(&self) -> CopyFacts {
+        CopyFacts {
+            vals: [CopyVal::Fresh; NUM_REGS],
+        }
+    }
+
+    fn join(&self, into: &mut CopyFacts, other: &CopyFacts) -> bool {
+        let mut changed = false;
+        for i in 0..NUM_REGS {
+            let j = into.vals[i].join(other.vals[i]);
+            if j != into.vals[i] {
+                into.vals[i] = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, _pc: u64, instr: Instr, fact: &mut CopyFacts) {
+        let Some(rd) = instr.def_reg() else { return };
+        let binding = match as_reg_copy(instr) {
+            // Chase one level so chains of copies resolve to the oldest
+            // still-live source (`rs` holding a copy of `t` means they are
+            // equal right now, so `rd` copies `t` too).
+            Some((_, rs)) => match fact.get(rs) {
+                CopyVal::Of(t) => CopyVal::Of(t),
+                _ if rs.is_zero() => CopyVal::Of(Reg::ZERO),
+                _ => CopyVal::Of(rs),
+            },
+            None => CopyVal::Fresh,
+        };
+        // `rd = rs` where `rs` already copies `rd` re-materializes rd's own
+        // value; a self-referential `Of(rd)` fact would be meaningless.
+        let binding = match binding {
+            CopyVal::Of(t) if t == rd => CopyVal::Fresh,
+            b => b,
+        };
+        fact.kill_and_bind(rd, binding);
+    }
+}
+
+/// Forward copy propagation over a program's CFG.
+///
+/// A register is a *copy* of another when a recognized move assigned it
+/// and neither register has been redefined since; uses of the copy can be
+/// rewritten to the source, which exposes dead moves to liveness DCE. The
+/// distiller's pipeline runs the same analysis over its relocatable IR.
+///
+/// # Examples
+///
+/// ```
+/// use mssp_isa::asm::assemble;
+/// use mssp_isa::Reg;
+/// use mssp_analysis::{Cfg, CopyProp, CopyVal};
+///
+/// let p = assemble(
+///     "main: addi a0, zero, 7
+///            addi a1, a0, 0
+///            addi a2, a1, 1
+///            halt",
+/// ).unwrap();
+/// let c = CopyProp::compute(&p, &Cfg::build(&p));
+/// // At the `addi a2, a1, 1`, a1 is a live copy of a0.
+/// assert_eq!(c.value_before(p.entry() + 8, Reg::A1), CopyVal::Of(Reg::A0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CopyProp {
+    results: DataflowResults<CopyFacts>,
+}
+
+impl CopyProp {
+    /// Computes copy propagation for `program`.
+    #[must_use]
+    pub fn compute(program: &Program, cfg: &Cfg) -> CopyProp {
+        CopyProp {
+            results: solve(program, cfg, &CopyPropAnalysis),
+        }
+    }
+
+    /// The facts holding just before the instruction at `pc`.
+    #[must_use]
+    pub fn before(&self, pc: u64) -> Option<&CopyFacts> {
+        self.results.before(pc)
+    }
+
+    /// The lattice value of `r` just before `pc` executes
+    /// ([`CopyVal::Fresh`] for unanalyzed addresses).
+    #[must_use]
+    pub fn value_before(&self, pc: u64, r: Reg) -> CopyVal {
+        self.results.before(pc).map_or(CopyVal::Fresh, |f| f.get(r))
     }
 }
 
@@ -733,6 +1000,89 @@ mod tests {
         let join = p.symbol("join").unwrap();
         assert_eq!(c.value_before(join, Reg::A1), ConstVal::Const(7));
         assert_eq!(c.value_after(join, Reg::A2), ConstVal::Const(8));
+    }
+
+    #[test]
+    fn copy_prop_kills_on_source_redefinition() {
+        let (p, cfg) = setup(
+            "main: addi a1, a0, 0
+                   addi a0, zero, 9
+                   addi a2, a1, 1
+                   halt",
+        );
+        let c = CopyProp::compute(&p, &cfg);
+        // Before the a0 redefinition, a1 copies a0...
+        assert_eq!(c.value_before(p.entry() + 4, Reg::A1), CopyVal::Of(Reg::A0));
+        // ...after it, the copy relation is dead.
+        assert_eq!(c.value_before(p.entry() + 8, Reg::A1), CopyVal::Fresh);
+    }
+
+    #[test]
+    fn copy_prop_chains_resolve_to_oldest_live_source() {
+        let (p, cfg) = setup(
+            "main: addi a1, a0, 0
+                   addi a2, a1, 0
+                   halt",
+        );
+        let c = CopyProp::compute(&p, &cfg);
+        assert_eq!(c.value_before(p.entry() + 8, Reg::A2), CopyVal::Of(Reg::A0));
+    }
+
+    #[test]
+    fn copy_prop_joins_disagreeing_paths_to_fresh() {
+        let (p, cfg) = setup(
+            "main: beqz a0, else
+                   addi a1, a2, 0
+                   j join
+             else: addi a1, a3, 0
+             join: halt",
+        );
+        let c = CopyProp::compute(&p, &cfg);
+        let join = p.symbol("join").unwrap();
+        assert_eq!(c.value_before(join, Reg::A1), CopyVal::Fresh);
+    }
+
+    #[test]
+    fn copy_prop_recognizes_zero_moves() {
+        assert_eq!(
+            as_reg_copy(Instr::Add(Reg::A1, Reg::A0, Reg::ZERO)),
+            Some((Reg::A1, Reg::A0))
+        );
+        assert_eq!(
+            as_reg_copy(Instr::Or(Reg::A1, Reg::ZERO, Reg::A0)),
+            Some((Reg::A1, Reg::A0))
+        );
+        assert_eq!(as_reg_copy(Instr::Addi(Reg::A1, Reg::A0, 1)), None);
+        assert_eq!(as_reg_copy(Instr::Addi(Reg::A0, Reg::A0, 0)), None);
+        // Copy *of* the zero register is a recognized li-0.
+        let (p, cfg) = setup("main: addi a0, zero, 0\n addi a1, a0, 1\n halt");
+        let c = CopyProp::compute(&p, &cfg);
+        assert_eq!(
+            c.value_before(p.entry() + 4, Reg::A0),
+            CopyVal::Of(Reg::ZERO)
+        );
+    }
+
+    #[test]
+    fn eval_branch_decides_constant_conditions() {
+        let (p, cfg) = setup("main: addi a0, zero, 3\n addi a1, zero, 5\n halt");
+        let c = ConstProp::compute(&p, &cfg);
+        let facts = c.after(p.entry() + 4).unwrap();
+        assert_eq!(
+            eval_branch(Instr::Blt(Reg::A0, Reg::A1, 0), facts),
+            Some(true)
+        );
+        assert_eq!(
+            eval_branch(Instr::Beq(Reg::A0, Reg::A1, 0), facts),
+            Some(false)
+        );
+        assert_eq!(
+            eval_branch(Instr::Bgeu(Reg::A1, Reg::A0, 0), facts),
+            Some(true)
+        );
+        // Unknown operand: undecidable.
+        assert_eq!(eval_branch(Instr::Beq(Reg::T3, Reg::A1, 0), facts), None);
+        assert_eq!(eval_branch(Instr::Halt, facts), None);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!   dataflow framework over [`Cfg`]s.
 //! * [`Liveness`] — backward register liveness (for dead-code elimination),
 //!   an instance of the framework.
-//! * [`ReachingDefs`] / [`ConstProp`] — forward reaching-definitions and
-//!   constant propagation (for the static soundness linter).
+//! * [`ReachingDefs`] / [`ConstProp`] / [`CopyProp`] — forward
+//!   reaching-definitions, constant propagation and copy propagation (the
+//!   static soundness linter and the distiller's optimizing pass pipeline
+//!   are built on these).
 //! * [`Profile`] — dynamic edge/branch/instruction profiles from a
 //!   training run (the distiller is profile-guided, as in the paper).
 //!
@@ -46,7 +48,8 @@ mod profile;
 
 pub use cfg::{BasicBlock, BlockId, Cfg, Terminator};
 pub use dataflow::{
-    solve, Analysis, ConstFacts, ConstProp, ConstVal, DataflowResults, DefSites, Direction,
+    as_reg_copy, eval_branch, solve, Analysis, ConstFacts, ConstProp, ConstPropAnalysis, ConstVal,
+    CopyFacts, CopyProp, CopyPropAnalysis, CopyVal, DataflowResults, DefSites, Direction,
     ReachingDefs,
 };
 pub use dom::{loop_depths, natural_loops, Dominators, NaturalLoop};

@@ -1,0 +1,133 @@
+//! BENCH — machine-readable speedup benchmark.
+//!
+//! Measures every workload's speedup and distilled/original dynamic
+//! instruction ratio (against a DCE-only baseline pipeline) and emits the
+//! result as `BENCH_speedup.json`, so the distiller's perf trajectory is
+//! tracked across PRs. CI runs this at small scale and fails the build on
+//! a speedup regression.
+//!
+//! ```text
+//! bench_speedup [--json] [--out PATH] [--scale-div N] [--min-speedup X]
+//! ```
+//!
+//! * `--json` — emit JSON (to stdout, or to `--out PATH`); otherwise a
+//!   human-readable table is printed.
+//! * `--scale-div N` — divide every workload's default scale by `N`
+//!   (default 1; CI uses a large divisor for speed).
+//! * `--min-speedup X` — exit non-zero if any workload's speedup falls
+//!   below `X`.
+
+use std::process::ExitCode;
+
+use mssp_bench::{collect_speedup_records, print_header, render_speedup_json};
+use mssp_stats::{fmt3, geomean, Table};
+
+struct Args {
+    json: bool,
+    out: Option<String>,
+    scale_div: u64,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        out: None,
+        scale_div: 1,
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--scale-div" => {
+                args.scale_div = value("--scale-div")?
+                    .parse()
+                    .map_err(|e| format!("--scale-div: {e}"))?;
+            }
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_speedup: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let records = collect_speedup_records(args.scale_div);
+
+    if args.json {
+        let json = render_speedup_json(&records, args.scale_div);
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("bench_speedup: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{json}"),
+        }
+    } else {
+        print_header(
+            "BENCH",
+            "Machine-readable speedup benchmark",
+            &format!("scale divisor {}", args.scale_div),
+        );
+        let mut table = Table::new(vec![
+            "benchmark",
+            "speedup",
+            "dyn ratio",
+            "dce-only ratio",
+            "squash/1k",
+        ]);
+        for r in &records {
+            table.row(vec![
+                r.name.clone(),
+                fmt3(r.speedup),
+                fmt3(r.dyn_ratio),
+                fmt3(r.dyn_ratio_dce_only),
+                format!("{:.1}", r.squash_per_1k_tasks),
+            ]);
+        }
+        println!("{}", table.render());
+        let ratios: Vec<f64> = records.iter().map(|r| r.dyn_ratio).collect();
+        let baselines: Vec<f64> = records.iter().map(|r| r.dyn_ratio_dce_only).collect();
+        let speedups: Vec<f64> = records.iter().map(|r| r.speedup).collect();
+        println!("geomean speedup:            {:.3}", geomean(&speedups));
+        println!("geomean dyn ratio:          {:.3}", geomean(&ratios));
+        println!("geomean dyn ratio (dce):    {:.3}", geomean(&baselines));
+    }
+
+    if let Some(floor) = args.min_speedup {
+        let mut failed = false;
+        for r in &records {
+            if r.speedup < floor {
+                eprintln!(
+                    "bench_speedup: {} speedup {:.3} below floor {:.3}",
+                    r.name, r.speedup, floor
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

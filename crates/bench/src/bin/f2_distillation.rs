@@ -24,6 +24,9 @@ fn main() {
         "aggressive%",
         "static none",
         "static aggr",
+        "fold",
+        "copy",
+        "thread",
     ]);
     let mut series = Vec::new();
     for w in workloads() {
@@ -38,10 +41,19 @@ fn main() {
             statics.push(e.distill.distilled_static);
             if level == DistillLevel::Aggressive {
                 series.push((w.name.to_string(), ratio));
+                // Per-pass pipeline work at the aggressive level: ALU
+                // results folded (incl. branches collapsed), copy uses
+                // rewritten, control transfers threaded.
+                row.push(format!(
+                    "{}+{}",
+                    e.distill.const_folded, e.distill.branches_folded
+                ));
+                row.push(e.distill.copies_propagated.to_string());
+                row.push(e.distill.jumps_threaded.to_string());
             }
         }
-        row.push(statics[0].to_string());
-        row.push(statics[2].to_string());
+        row.insert(4, statics[0].to_string());
+        row.insert(5, statics[2].to_string());
         table.row(row);
     }
     println!("{}", table.render());

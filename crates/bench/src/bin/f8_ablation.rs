@@ -4,8 +4,8 @@
 //! net is positive — while the `None` level isolates pure paradigm
 //! overhead (master ≈ original program).
 
-use mssp_bench::{evaluate, print_header};
-use mssp_distill::{DistillConfig, DistillLevel};
+use mssp_bench::{dyn_ratio, evaluate, print_header};
+use mssp_distill::{DistillConfig, DistillLevel, PassConfig};
 use mssp_stats::{geomean, Table};
 use mssp_timing::TimingConfig;
 use mssp_workloads::workloads;
@@ -39,4 +39,63 @@ fn main() {
         format!("{:.3}", geomean(&per_level[2])),
     ]);
     println!("{}", table.render());
+
+    // Second axis: the optimizing pass pipeline, ablated one pass at a
+    // time at the aggressive level. Reported as the distilled/original
+    // dynamic instruction ratio (lower is better) so each pass's dynamic
+    // contribution is visible independently of timing noise.
+    println!("pass-pipeline ablation, dynamic ratio (aggressive level):");
+    let variants: [(&str, PassConfig); 5] = [
+        ("full", PassConfig::all()),
+        (
+            "-fold",
+            PassConfig {
+                const_fold: false,
+                ..PassConfig::all()
+            },
+        ),
+        (
+            "-copy",
+            PassConfig {
+                copy_prop: false,
+                ..PassConfig::all()
+            },
+        ),
+        (
+            "-thread",
+            PassConfig {
+                jump_thread: false,
+                ..PassConfig::all()
+            },
+        ),
+        ("dce-only", PassConfig::dce_only()),
+    ];
+    let mut ptable = Table::new(vec![
+        "benchmark",
+        "full",
+        "-fold",
+        "-copy",
+        "-thread",
+        "dce-only",
+    ]);
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for w in workloads() {
+        let mut row = vec![w.name.to_string()];
+        for (i, (_, passes)) in variants.iter().enumerate() {
+            let dcfg = DistillConfig {
+                passes: *passes,
+                ..DistillConfig::default()
+            };
+            let r = dyn_ratio(&evaluate(w, w.default_scale, &dcfg, &tcfg));
+            row.push(format!("{r:.3}"));
+            per_variant[i].push(r);
+        }
+        ptable.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for ratios in &per_variant {
+        geo_row.push(format!("{:.3}", geomean(ratios)));
+    }
+    ptable.row(geo_row);
+    println!("{}", ptable.render());
 }

@@ -129,6 +129,131 @@ pub fn evaluate_cross_input(
     }
 }
 
+/// One workload's row in the machine-readable speedup benchmark
+/// (`BENCH_speedup.json`): the numbers that track the perf trajectory of
+/// the distiller across PRs.
+#[derive(Debug, Clone)]
+pub struct SpeedupRecord {
+    /// Workload name.
+    pub name: String,
+    /// Scale the workload ran at.
+    pub scale: u64,
+    /// MSSP speedup over the uniprocessor baseline (default distillation).
+    pub speedup: f64,
+    /// Distilled/original dynamic instruction ratio (master instructions /
+    /// committed instructions) under the default pass pipeline. Lower is
+    /// better; this is the distiller's primary quality signal.
+    pub dyn_ratio: f64,
+    /// The same ratio with the pipeline reduced to liveness DCE only —
+    /// the distiller's behaviour before the optimizing pass pipeline — so
+    /// every record carries its own improvement baseline.
+    pub dyn_ratio_dce_only: f64,
+    /// Squash events per thousand spawned tasks.
+    pub squash_per_1k_tasks: f64,
+    /// Static instructions in the original text.
+    pub static_original: usize,
+    /// Static instructions in the distilled text (default pipeline).
+    pub static_distilled: usize,
+}
+
+/// Measures every bundled workload at `default_scale / divisor` and
+/// returns one [`SpeedupRecord`] per workload, in bundle order.
+///
+/// # Panics
+///
+/// Panics on any harness failure (broken build, not a measurement).
+#[must_use]
+pub fn collect_speedup_records(divisor: u64) -> Vec<SpeedupRecord> {
+    let tcfg = TimingConfig::default();
+    let default_cfg = DistillConfig::default();
+    let dce_only_cfg = DistillConfig {
+        passes: mssp_distill::PassConfig::dce_only(),
+        ..DistillConfig::default()
+    };
+    mssp_workloads::workloads()
+        .iter()
+        .map(|w| {
+            let scale = harness_scale(w, divisor);
+            let e = evaluate(w, scale, &default_cfg, &tcfg);
+            let base = evaluate(w, scale, &dce_only_cfg, &tcfg);
+            let stats = &e.mssp.run.stats;
+            let squash_per_1k_tasks = if stats.spawned_tasks == 0 {
+                0.0
+            } else {
+                1000.0 * stats.squash_events() as f64 / stats.spawned_tasks as f64
+            };
+            SpeedupRecord {
+                name: w.name.to_string(),
+                scale,
+                speedup: e.speedup,
+                dyn_ratio: dyn_ratio(&e),
+                dyn_ratio_dce_only: dyn_ratio(&base),
+                squash_per_1k_tasks,
+                static_original: e.distill.original_static,
+                static_distilled: e.distill.distilled_static,
+            }
+        })
+        .collect()
+}
+
+/// Master-instructions / committed-instructions for one evaluation — the
+/// distilled/original dynamic instruction ratio.
+#[must_use]
+pub fn dyn_ratio(e: &Evaluation) -> f64 {
+    e.mssp.run.stats.master_instructions as f64 / e.mssp.run.stats.committed_instructions as f64
+}
+
+/// Renders [`SpeedupRecord`]s as the `BENCH_speedup.json` document
+/// (hand-rolled: the workspace is std-only).
+#[must_use]
+pub fn render_speedup_json(records: &[SpeedupRecord], divisor: u64) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mssp-bench-speedup/v1\",\n");
+    out.push_str(&format!("  \"scale_divisor\": {divisor},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": {}, \"speedup\": {}, \"dyn_ratio\": {}, \
+             \"dyn_ratio_dce_only\": {}, \"squash_per_1k_tasks\": {}, \
+             \"static_original\": {}, \"static_distilled\": {}}}{}\n",
+            r.name,
+            r.scale,
+            num(r.speedup),
+            num(r.dyn_ratio),
+            num(r.dyn_ratio_dce_only),
+            num(r.squash_per_1k_tasks),
+            r.static_original,
+            r.static_distilled,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let geo = |f: fn(&SpeedupRecord) -> f64| {
+        mssp_stats::geomean(&records.iter().map(f).collect::<Vec<_>>())
+    };
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {},\n",
+        num(geo(|r| r.speedup))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_dyn_ratio\": {},\n",
+        num(geo(|r| r.dyn_ratio))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_dyn_ratio_dce_only\": {}\n",
+        num(geo(|r| r.dyn_ratio_dce_only))
+    ));
+    out.push_str("}\n");
+    out
+}
+
 /// Sequential dynamic instruction count of a program.
 #[must_use]
 pub fn seq_instructions(program: &Program) -> u64 {
@@ -173,6 +298,29 @@ mod tests {
             eval.baseline.instructions
         );
         assert!(eval.boundary_count > 0);
+    }
+
+    #[test]
+    fn speedup_json_is_well_formed() {
+        let records = vec![SpeedupRecord {
+            name: "gzip_like".to_string(),
+            scale: 1024,
+            speedup: 1.25,
+            dyn_ratio: 0.62,
+            dyn_ratio_dce_only: 0.70,
+            squash_per_1k_tasks: 3.5,
+            static_original: 500,
+            static_distilled: 320,
+        }];
+        let json = render_speedup_json(&records, 16);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"mssp-bench-speedup/v1\""));
+        assert!(json.contains("\"dyn_ratio\": 0.620000"));
+        assert!(json.contains("\"geomean_dyn_ratio_dce_only\": 0.700000"));
+        // Balanced braces/brackets — a cheap structural sanity check for
+        // the hand-rolled emitter.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -45,6 +45,100 @@ impl std::fmt::Display for DistillLevel {
     }
 }
 
+/// Per-pass toggles and the fixpoint budget of the distiller's optimizing
+/// pass pipeline (see `mssp_distill::passes`).
+///
+/// The pipeline runs after branch asserting / cold-code elision and before
+/// layout, at every level except [`DistillLevel::None`]. Each toggle
+/// enables one pass; [`PassConfig::dce_only`] reproduces the pre-pipeline
+/// distiller (liveness DCE alone).
+///
+/// # Examples
+///
+/// ```
+/// use mssp_distill::{DistillConfig, PassConfig};
+///
+/// let cfg = DistillConfig {
+///     passes: PassConfig {
+///         jump_thread: false,
+///         ..PassConfig::all()
+///     },
+///     ..DistillConfig::default()
+/// };
+/// assert!(cfg.passes.const_fold && !cfg.passes.jump_thread);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Constant propagation & folding on the asserted CFG: ALU results
+    /// with known operands become `li`s, decided conditional branches
+    /// collapse into jumps or fall-throughs, and code left unreachable by
+    /// the collapsed branches is pruned.
+    pub const_fold: bool,
+    /// Copy propagation: uses of a register that provably mirrors another
+    /// are rewritten to the source, exposing the move to DCE.
+    pub copy_prop: bool,
+    /// Liveness dead-code elimination (with the task-boundary live-in
+    /// floor).
+    pub dce: bool,
+    /// Profile-guided jump threading / superblock straightening: hot
+    /// paths are relaid so the master falls through its dominant trace.
+    pub jump_thread: bool,
+    /// Maximum pipeline iterations; within one iteration each enabled
+    /// pass runs once, and the pipeline stops early at a fixpoint.
+    pub max_iterations: usize,
+}
+
+impl PassConfig {
+    /// Every pass enabled — the default pipeline.
+    #[must_use]
+    pub fn all() -> PassConfig {
+        PassConfig {
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+            jump_thread: true,
+            max_iterations: 4,
+        }
+    }
+
+    /// No optimizing passes at all (the raw asserted image).
+    #[must_use]
+    pub fn none() -> PassConfig {
+        PassConfig {
+            const_fold: false,
+            copy_prop: false,
+            dce: false,
+            jump_thread: false,
+            max_iterations: 0,
+        }
+    }
+
+    /// Liveness DCE alone — the distiller's behaviour before the pass
+    /// pipeline existed; the benchmark baseline pipeline improvements are
+    /// measured against.
+    #[must_use]
+    pub fn dce_only() -> PassConfig {
+        PassConfig {
+            dce: true,
+            max_iterations: 1,
+            ..PassConfig::none()
+        }
+    }
+
+    /// Whether any pass is enabled (with a non-zero budget).
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.max_iterations > 0
+            && (self.const_fold || self.copy_prop || self.dce || self.jump_thread)
+    }
+}
+
+impl Default for PassConfig {
+    fn default() -> PassConfig {
+        PassConfig::all()
+    }
+}
+
 /// Full distiller configuration.
 ///
 /// # Examples
@@ -72,6 +166,9 @@ pub struct DistillConfig {
     /// Base address at which the distilled text segment is placed; must
     /// not overlap the original text or data.
     pub dist_text_base: u64,
+    /// The optimizing pass pipeline (ignored at [`DistillLevel::None`],
+    /// which emits a verbatim relocated image).
+    pub passes: PassConfig,
 }
 
 impl Default for DistillConfig {
@@ -81,6 +178,7 @@ impl Default for DistillConfig {
             assert_bias: 0.9995,
             target_task_size: 256,
             dist_text_base: 0x0008_0000,
+            passes: PassConfig::all(),
         }
     }
 }

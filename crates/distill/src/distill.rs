@@ -11,24 +11,41 @@
 //!    can cost performance, never correctness.)
 //! 2. **Cold-code elision** — blocks unreachable in the asserted CFG are
 //!    dropped from the distilled image.
-//! 3. **Dead-code elimination** — instructions whose results are dead in
-//!    the asserted code are removed (including dead loads).
-//! 4. **Original-image preservation** — calls are rewritten to link the
+//! 3. **Original-image preservation** — calls are rewritten to link the
 //!    *original* program's return address (`li ra, <orig ret>` + plain
 //!    jump), so the master's register/memory image — and therefore every
 //!    live-in it predicts — stays in original-program terms even though the
 //!    master's PC walks distilled-space addresses. Indirect jumps
 //!    consequently produce original-space targets, which the master's
 //!    executor translates back through [`Distilled::to_dist`].
+//! 4. **The optimizing pass pipeline** (`passes.rs`, toggled per pass via
+//!    [`crate::PassConfig`], run to a fixpoint on the relocatable IR):
+//!    * **Constant propagation & folding** — ALU results constant on every
+//!      asserted path become single-instruction `li`s; branches the facts
+//!      decide collapse into jumps or fall-throughs, and blocks thereby
+//!      unreachable (and training-cold) are pruned.
+//!    * **Copy propagation** — register uses that provably mirror another
+//!      register are rewritten to the source, exposing moves to DCE.
+//!    * **Dead-code elimination** — instructions whose results are dead in
+//!      the asserted code are removed (with the task-boundary live-in
+//!      floor, so slave live-in prediction keeps working).
+//!    * **Profile-guided jump threading** — blocks are relaid along the
+//!      training run's dominant traces, branches point at their colder
+//!      side, and jumps to the physically-next block are elided, so the
+//!      master falls through its hot path.
+//!
+//! This list is the authoritative pass inventory; DESIGN.md carries each
+//! pass's soundness argument.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use mssp_analysis::{Cfg, Dominators, Liveness, Profile, Terminator};
+use mssp_analysis::{Cfg, ConstProp, Dominators, Liveness, Profile, Terminator};
 use mssp_isa::{asm::li_sequence, Instr, Program, INSTR_BYTES};
 use mssp_machine::{Fault, MachineState, SeqMachine};
 
-use crate::ir::{eliminate_dead_code, layout, DBlock, DInstr};
+use crate::ir::{layout, DBlock, DInstr};
+use crate::passes::{run_pipeline, PassDelta, PipelineOutcome};
 use crate::{select_boundaries, DistillConfig, DistillLevel};
 
 /// Distillation failure.
@@ -86,6 +103,16 @@ pub struct DistillStats {
     pub stores_elided: usize,
     /// Calls rewritten to preserve original return addresses.
     pub calls_rewritten: usize,
+    /// ALU results rematerialized as immediate loads by constant folding.
+    pub const_folded: usize,
+    /// Conditional branches collapsed by constant facts.
+    pub branches_folded: usize,
+    /// Register uses rewritten to their copy source.
+    pub copies_propagated: usize,
+    /// Control transfers redirected or elided by jump threading.
+    pub jumps_threaded: usize,
+    /// Pipeline iterations actually run before the fixpoint (or budget).
+    pub pipeline_iterations: usize,
 }
 
 /// A distilled program plus the metadata the MSSP engine needs to drive it.
@@ -98,6 +125,7 @@ pub struct Distilled {
     boundary_dist: BTreeMap<u64, u64>,
     crossings_per_task: u64,
     stats: DistillStats,
+    pass_trace: Vec<PassDelta>,
 }
 
 impl Distilled {
@@ -135,6 +163,7 @@ impl Distilled {
             boundary_dist,
             crossings_per_task: 1,
             stats,
+            pass_trace: Vec::new(),
         }
     }
 
@@ -205,6 +234,14 @@ impl Distilled {
     #[must_use]
     pub fn stats(&self) -> DistillStats {
         self.stats
+    }
+
+    /// The pass pipeline's static-size trace, one entry per pass run in
+    /// pipeline order (empty for [`Distilled::from_parts`] and when every
+    /// pass is disabled). Drives `mssp distill --stats`.
+    #[must_use]
+    pub fn pass_trace(&self) -> &[PassDelta] {
+        &self.pass_trace
     }
 
     /// Runs the distilled program sequentially to `halt`, performing the
@@ -467,20 +504,46 @@ pub fn distill(
         });
     }
 
-    // --- Pass 5: dead-code elimination (skipped for the identity level).
-    // At every task boundary the master must still be able to predict any
-    // register the *original* program may read before writing (those are
-    // exactly the register live-ins of tasks starting there), so original
-    // liveness at boundary PCs is injected as a DCE floor.
-    let dce_removed = if config.level == DistillLevel::None {
-        0
+    // --- Pass 5: the optimizing pass pipeline (skipped for the identity
+    // level, which promises a verbatim relocated image). At every task
+    // boundary the master must still be able to predict any register the
+    // *original* program may read before writing (those are exactly the
+    // register live-ins of tasks starting there), so original liveness at
+    // boundary PCs is injected as a DCE floor; the same boundary set — plus
+    // the original program's materialized constants, which over-approximate
+    // indirect-jump landing sites — seeds pessimistic dataflow facts in the
+    // folding passes (the master can enter there with arbitrary state).
+    let pipeline = if config.level == DistillLevel::None || !config.passes.any_enabled() {
+        PipelineOutcome::default()
     } else {
         let orig_live = Liveness::compute(program, &cfg);
         let boundary_live: crate::ir::BoundaryLive = boundaries
             .iter()
             .map(|&b| (b, orig_live.live_in(b)))
             .collect();
-        eliminate_dead_code(&mut blocks, &boundary_live)
+        let mut reseed: BTreeSet<u64> = boundaries.clone();
+        if config.passes.const_fold {
+            reseed.extend(ConstProp::compute(program, &cfg).materialized(program));
+        }
+        let hot_roots: BTreeSet<u64> = cfg
+            .blocks()
+            .iter()
+            .filter(|b| profile.exec_count(b.start) > 0)
+            .map(|b| b.start)
+            .collect();
+        let entry_start = cfg.blocks()[cfg.entry()].start;
+        let block_ends: BTreeMap<u64, u64> =
+            cfg.blocks().iter().map(|b| (b.start, b.end)).collect();
+        run_pipeline(
+            &mut blocks,
+            &config.passes,
+            profile,
+            &boundary_live,
+            entry_start,
+            &reseed,
+            &hot_roots,
+            &block_ends,
+        )
     };
 
     // --- Pass 6: layout and emission. ---
@@ -510,14 +573,20 @@ pub fn distill(
         .filter_map(|&b| orig_to_dist.get(&b).map(|&d| (d, b)))
         .collect();
 
+    let counters = pipeline.counters;
     let stats = DistillStats {
         original_static: program.len(),
         distilled_static: distilled_program.len(),
         asserted_branches,
-        removed_blocks,
-        dce_removed,
+        removed_blocks: removed_blocks + counters.pruned_blocks,
+        dce_removed: counters.dce_removed,
         stores_elided,
         calls_rewritten,
+        const_folded: counters.const_folded,
+        branches_folded: counters.branches_folded,
+        copies_propagated: counters.copies_propagated,
+        jumps_threaded: counters.jumps_threaded,
+        pipeline_iterations: counters.iterations,
     };
 
     // Group crossings so the *average* task hits the configured size.
@@ -537,6 +606,7 @@ pub fn distill(
         boundary_dist,
         crossings_per_task,
         stats,
+        pass_trace: pipeline.trace,
     })
 }
 

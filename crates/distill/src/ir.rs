@@ -34,7 +34,7 @@ pub(crate) enum DInstr {
 }
 
 impl DInstr {
-    fn def_reg(&self) -> Option<mssp_isa::Reg> {
+    pub(crate) fn def_reg(&self) -> Option<mssp_isa::Reg> {
         match self {
             DInstr::Copy(i) => i.def_reg(),
             DInstr::Branch(..) | DInstr::Jump(_) => None,
@@ -58,7 +58,7 @@ impl DInstr {
 }
 
 /// A block of the relocatable IR.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct DBlock {
     /// Original-program address of the block's first instruction; doubles
     /// as the symbolic name control flow targets.
@@ -68,7 +68,7 @@ pub(crate) struct DBlock {
 
 /// How a block's execution can leave it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BlockExit {
+pub(crate) enum BlockExit {
     /// Falls into the next emitted block (possibly also branching).
     Open { branch_target: Option<u64> },
     /// Always jumps to a known block.
@@ -85,7 +85,7 @@ enum BlockExit {
     End,
 }
 
-fn exit_of(block: &DBlock) -> BlockExit {
+pub(crate) fn exit_of(block: &DBlock) -> BlockExit {
     match block.instrs.last() {
         Some(DInstr::Jump(t)) => BlockExit::Always(*t),
         Some(DInstr::Branch(_, t)) => BlockExit::Open {
@@ -125,6 +125,8 @@ fn dce_pass(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
 
     // Block-level live-in fixpoint. Boundary blocks additionally require
     // the original program's live set at their start (task live-ins).
+    // Branches may appear mid-block after jump threading, so every branch
+    // unions its target's live-in, not just the terminator's.
     let n = blocks.len();
     let mut live_in = vec![RegSet::empty(); n];
     let mut changed = true;
@@ -134,6 +136,9 @@ fn dce_pass(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
             let out = block_exit_live(blocks, i, &index, &live_in);
             let mut live = out;
             for di in blocks[i].instrs.iter().rev() {
+                if let DInstr::Branch(_, t) = di {
+                    live = live.union(target_live_in(*t, &index, &live_in));
+                }
                 live = transfer(di, live);
             }
             if let Some(&req) = boundary_live.get(&blocks[i].orig_start) {
@@ -152,6 +157,9 @@ fn dce_pass(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
         let mut live = block_exit_live(blocks, i, &index, &live_in);
         let mut keep = vec![true; blocks[i].instrs.len()];
         for (j, di) in blocks[i].instrs.iter().enumerate().rev() {
+            if let DInstr::Branch(_, t) = di {
+                live = live.union(target_live_in(*t, &index, &live_in));
+            }
             if di.removable() {
                 if let Some(rd) = di.def_reg() {
                     if !live.contains(rd) {
@@ -167,6 +175,13 @@ fn dce_pass(blocks: &mut [DBlock], boundary_live: &BoundaryLive) -> usize {
         blocks[i].instrs.retain(|_| it.next().unwrap());
     }
     removed
+}
+
+fn target_live_in(target: u64, index: &BTreeMap<u64, usize>, live_in: &[RegSet]) -> RegSet {
+    index
+        .get(&target)
+        .map(|&j| live_in[j])
+        .unwrap_or_else(RegSet::all)
 }
 
 fn block_exit_live(

@@ -42,7 +42,9 @@ mod boundary;
 mod config;
 mod distill;
 mod ir;
+mod passes;
 
 pub use boundary::select_boundaries;
-pub use config::{DistillConfig, DistillLevel};
+pub use config::{DistillConfig, DistillLevel, PassConfig};
 pub use distill::{distill, DistillError, DistillStats, Distilled, DistilledRunError};
+pub use passes::PassDelta;

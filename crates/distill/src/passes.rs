@@ -1,0 +1,751 @@
+//! The distiller's optimizing pass pipeline.
+//!
+//! Runs between IR construction and layout, transforming the relocatable
+//! [`DBlock`] list to a fixpoint under a per-pass iteration budget. Every
+//! pass is profile- or dataflow-guided and *approximation-tolerant*: a
+//! wrong transform costs the master squashes, never correctness, because
+//! slaves execute the original program (the paper's decoupling of
+//! performance from correctness). The passes are nevertheless engineered
+//! to be sound on the asserted CFG — gratuitous wrongness just burns
+//! squash cycles.
+//!
+//! ## Dataflow over the IR
+//!
+//! [`ConstPropAnalysis`] and [`CopyPropAnalysis`] were written against the
+//! original program's CFG, but the facts the pipeline needs live on the
+//! *asserted* graph the IR encodes (asserted-away edges must not pollute
+//! joins). A custom forward worklist solver therefore runs the same
+//! lattices directly over the block list. Pessimistic boundary facts are
+//! injected wherever the master can (re)enter distilled code with
+//! arbitrary architected state:
+//!
+//! * the distilled entry block,
+//! * every task boundary (the master is re-seeded there after a squash),
+//! * every block whose original address is a materialized constant of the
+//!   original program (indirect jumps land there via `to_dist`
+//!   translation),
+//! * every block with no IR predecessor (retained as a hot root; nothing
+//!   flows facts into it).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mssp_analysis::{
+    eval_branch, Analysis, ConstPropAnalysis, ConstVal, CopyPropAnalysis, Profile,
+};
+use mssp_isa::{asm::li_sequence, INSTR_BYTES};
+
+use crate::config::PassConfig;
+use crate::ir::{exit_of, BlockExit, BoundaryLive, DBlock, DInstr};
+
+/// One pass's effect on static size, in pipeline order. The `--stats` CLI
+/// output and ablation tables are rendered from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassDelta {
+    /// Pass name (`const-fold`, `copy-prop`, `dce`, `jump-thread`).
+    pub pass: &'static str,
+    /// 1-based pipeline iteration this run belongs to.
+    pub iteration: usize,
+    /// Static IR instructions before the pass ran.
+    pub before: usize,
+    /// Static IR instructions after the pass ran.
+    pub after: usize,
+}
+
+/// Aggregate pipeline counters, merged into `DistillStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PipelineCounters {
+    pub const_folded: usize,
+    pub branches_folded: usize,
+    pub pruned_blocks: usize,
+    pub copies_propagated: usize,
+    pub dce_removed: usize,
+    pub jumps_threaded: usize,
+    pub iterations: usize,
+}
+
+/// The pipeline's result: counters plus the per-pass size trace.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PipelineOutcome {
+    pub counters: PipelineCounters,
+    pub trace: Vec<PassDelta>,
+}
+
+/// Runs the enabled passes over `blocks` to a fixpoint (bounded by
+/// `config.max_iterations`).
+///
+/// `entry` is the distilled entry block's original address, `reseed` the
+/// extra original addresses where the master can enter with arbitrary
+/// state (task boundaries ∪ materialized constants), `hot_roots` the
+/// original block starts that must survive unreachable-code pruning, and
+/// `block_ends` each original block's end address (for locating its
+/// terminator's profiled edges).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline(
+    blocks: &mut Vec<DBlock>,
+    config: &PassConfig,
+    profile: &Profile,
+    boundary_live: &BoundaryLive,
+    entry: u64,
+    reseed: &BTreeSet<u64>,
+    hot_roots: &BTreeSet<u64>,
+    block_ends: &BTreeMap<u64, u64>,
+) -> PipelineOutcome {
+    let mut out = PipelineOutcome::default();
+    let mut entries: BTreeSet<u64> = reseed.clone();
+    entries.insert(entry);
+    let mut prune_roots: BTreeSet<u64> = entries.clone();
+    prune_roots.extend(hot_roots.iter().copied());
+
+    for iteration in 1..=config.max_iterations {
+        let snapshot = blocks.clone();
+        if config.const_fold {
+            let before = static_len(blocks);
+            let (folded, branches) = const_fold(blocks, &entries);
+            out.counters.const_folded += folded;
+            out.counters.branches_folded += branches;
+            out.counters.pruned_blocks += prune_unreachable(blocks, &prune_roots);
+            out.trace.push(PassDelta {
+                pass: "const-fold",
+                iteration,
+                before,
+                after: static_len(blocks),
+            });
+        }
+        if config.copy_prop {
+            let before = static_len(blocks);
+            out.counters.copies_propagated += copy_prop(blocks, &entries);
+            out.trace.push(PassDelta {
+                pass: "copy-prop",
+                iteration,
+                before,
+                after: static_len(blocks),
+            });
+        }
+        if config.dce {
+            let before = static_len(blocks);
+            out.counters.dce_removed += crate::ir::eliminate_dead_code(blocks, boundary_live);
+            out.trace.push(PassDelta {
+                pass: "dce",
+                iteration,
+                before,
+                after: static_len(blocks),
+            });
+        }
+        if config.jump_thread {
+            let before = static_len(blocks);
+            out.counters.jumps_threaded += jump_thread(blocks, entry, profile, block_ends);
+            out.trace.push(PassDelta {
+                pass: "jump-thread",
+                iteration,
+                before,
+                after: static_len(blocks),
+            });
+        }
+        out.counters.iterations = iteration;
+        if *blocks == snapshot {
+            break;
+        }
+    }
+    out
+}
+
+fn static_len(blocks: &[DBlock]) -> usize {
+    blocks.iter().map(|b| b.instrs.len()).sum()
+}
+
+fn block_index(blocks: &[DBlock]) -> BTreeMap<u64, usize> {
+    blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.orig_start, i))
+        .collect()
+}
+
+fn transfer_di<A: Analysis>(analysis: &A, di: &DInstr, fact: &mut A::Fact) {
+    match di {
+        // The synthetic pc is safe: IR construction rewrites every call,
+        // so no link-register definition (whose value is pc-dependent)
+        // survives into the IR.
+        DInstr::Copy(i) | DInstr::Branch(i, _) => analysis.transfer(0, *i, fact),
+        DInstr::Jump(_) => {}
+    }
+}
+
+/// Forward worklist solve of `analysis` over the IR graph; returns each
+/// block's entry fact. Blocks named in `entries` (and blocks with no
+/// predecessor) are seeded with the pessimistic boundary fact — the
+/// master can materialize there with arbitrary architected state.
+fn solve_ir<A: Analysis>(blocks: &[DBlock], analysis: &A, entries: &BTreeSet<u64>) -> Vec<A::Fact> {
+    let n = blocks.len();
+    let index = block_index(blocks);
+    let mut entry_facts: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+
+    let mut has_pred = vec![false; n];
+    for (i, b) in blocks.iter().enumerate() {
+        for di in &b.instrs {
+            if let DInstr::Branch(_, t) = di {
+                if let Some(&j) = index.get(t) {
+                    has_pred[j] = true;
+                }
+            }
+        }
+        match exit_of(b) {
+            BlockExit::Always(t) => {
+                if let Some(&j) = index.get(&t) {
+                    has_pred[j] = true;
+                }
+            }
+            BlockExit::Open { .. } => {
+                if i + 1 < n {
+                    has_pred[i + 1] = true;
+                }
+            }
+            BlockExit::Barrier | BlockExit::End => {}
+        }
+    }
+    let boundary = analysis.boundary();
+    for (i, b) in blocks.iter().enumerate() {
+        if !has_pred[i] || entries.contains(&b.orig_start) {
+            analysis.join(&mut entry_facts[i], &boundary);
+        }
+    }
+
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = (0..n).collect();
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let mut fact = entry_facts[i].clone();
+        let join_into = |j: usize,
+                         fact: &A::Fact,
+                         entry_facts: &mut Vec<A::Fact>,
+                         work: &mut VecDeque<usize>,
+                         queued: &mut Vec<bool>| {
+            if analysis.join(&mut entry_facts[j], fact) && !queued[j] {
+                queued[j] = true;
+                work.push_back(j);
+            }
+        };
+        for di in &blocks[i].instrs {
+            if let DInstr::Branch(_, t) = di {
+                if let Some(&j) = index.get(t) {
+                    join_into(j, &fact, &mut entry_facts, &mut work, &mut queued);
+                }
+            }
+            transfer_di(analysis, di, &mut fact);
+        }
+        match exit_of(&blocks[i]) {
+            BlockExit::Always(t) => {
+                if let Some(&j) = index.get(&t) {
+                    join_into(j, &fact, &mut entry_facts, &mut work, &mut queued);
+                }
+            }
+            BlockExit::Open { .. } => {
+                if i + 1 < n {
+                    join_into(i + 1, &fact, &mut entry_facts, &mut work, &mut queued);
+                }
+            }
+            BlockExit::Barrier | BlockExit::End => {}
+        }
+    }
+    entry_facts
+}
+
+/// Constant propagation & folding: ALU results that are constant on every
+/// asserted path are rematerialized as single-instruction `li`s (severing
+/// their input dependences), and conditional branches whose outcome the
+/// facts decide collapse into an unconditional jump or a plain
+/// fall-through. Returns `(instructions folded, branches folded)`.
+fn const_fold(blocks: &mut [DBlock], entries: &BTreeSet<u64>) -> (usize, usize) {
+    let analysis = ConstPropAnalysis;
+    let entry_facts = solve_ir(blocks, &analysis, entries);
+    let mut folded = 0;
+    let mut branches = 0;
+    for (i, block) in blocks.iter_mut().enumerate() {
+        let mut fact = entry_facts[i].clone();
+        let mut out = Vec::with_capacity(block.instrs.len());
+        for di in &block.instrs {
+            match di {
+                DInstr::Copy(instr) => {
+                    let pure =
+                        instr.def_reg().is_some() && !instr.is_store() && !instr.is_control();
+                    transfer_di(&analysis, di, &mut fact);
+                    let mut replaced = false;
+                    if pure {
+                        let rd = instr.def_reg().expect("pure implies a definition");
+                        if let ConstVal::Const(v) = fact.get(rd) {
+                            let seq = li_sequence(rd, v as i64);
+                            if seq.len() == 1 && seq[0] != *instr {
+                                out.push(DInstr::Copy(seq[0]));
+                                folded += 1;
+                                replaced = true;
+                            }
+                        }
+                    }
+                    if !replaced {
+                        out.push(*di);
+                    }
+                }
+                DInstr::Branch(instr, target) => match eval_branch(*instr, &fact) {
+                    Some(true) => {
+                        out.push(DInstr::Jump(*target));
+                        branches += 1;
+                    }
+                    Some(false) => branches += 1, // falls through
+                    None => out.push(*di),
+                },
+                DInstr::Jump(_) => out.push(*di),
+            }
+        }
+        block.instrs = out;
+    }
+    (folded, branches)
+}
+
+/// Removes blocks no longer reachable from any root once folded branches
+/// cut their incoming edges. Roots are everywhere the master can enter
+/// (entry, boundaries, indirect-landing sites) plus every training-hot
+/// block — the same retention rule as cold-code elision, so the master is
+/// never left without an image for code it demonstrably runs.
+fn prune_unreachable(blocks: &mut Vec<DBlock>, roots: &BTreeSet<u64>) -> usize {
+    let n = blocks.len();
+    let index = block_index(blocks);
+    let mut reached = vec![false; n];
+    let mut stack: Vec<usize> = roots.iter().filter_map(|r| index.get(r).copied()).collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut reached[i], true) {
+            continue;
+        }
+        for di in &blocks[i].instrs {
+            if let DInstr::Branch(_, t) = di {
+                if let Some(&j) = index.get(t) {
+                    stack.push(j);
+                }
+            }
+        }
+        match exit_of(&blocks[i]) {
+            BlockExit::Always(t) => {
+                if let Some(&j) = index.get(&t) {
+                    stack.push(j);
+                }
+            }
+            BlockExit::Open { .. } => {
+                if i + 1 < n {
+                    stack.push(i + 1);
+                }
+            }
+            BlockExit::Barrier | BlockExit::End => {}
+        }
+    }
+    let before = blocks.len();
+    let mut it = reached.into_iter();
+    blocks.retain(|_| it.next().unwrap());
+    before - blocks.len()
+}
+
+/// Copy propagation: every register use that provably mirrors another
+/// register is rewritten to the source, exposing the intervening move to
+/// DCE. Returns the number of operand rewrites.
+fn copy_prop(blocks: &mut [DBlock], entries: &BTreeSet<u64>) -> usize {
+    let analysis = CopyPropAnalysis;
+    let entry_facts = solve_ir(blocks, &analysis, entries);
+    let mut rewritten = 0;
+    for (i, block) in blocks.iter_mut().enumerate() {
+        let mut fact = entry_facts[i].clone();
+        for di in &mut block.instrs {
+            let new = match *di {
+                DInstr::Copy(instr) => {
+                    DInstr::Copy(instr.map_uses(|r| match fact.get(r).source() {
+                        Some(src) if src != r => {
+                            rewritten += 1;
+                            src
+                        }
+                        _ => r,
+                    }))
+                }
+                DInstr::Branch(instr, t) => DInstr::Branch(
+                    instr.map_uses(|r| match fact.get(r).source() {
+                        Some(src) if src != r => {
+                            rewritten += 1;
+                            src
+                        }
+                        _ => r,
+                    }),
+                    t,
+                ),
+                DInstr::Jump(t) => DInstr::Jump(t),
+            };
+            *di = new;
+            transfer_di(&analysis, di, &mut fact);
+        }
+    }
+    rewritten
+}
+
+/// Estimated dynamic cost a layout pays for its control transfers: the
+/// profile-weighted number of trailing `Jump` executions plus (layout-
+/// invariant, but kept so alternatives compare on the same scale) branch
+/// executions. Edge weights come from the original program's profiled
+/// edge counts, located via each block's original terminator address
+/// (`block_ends[start] - INSTR_BYTES`); edges the IR invented (e.g. by
+/// branch folding) that never existed in the original weigh 0, which only
+/// makes the model conservative about reordering around them.
+fn layout_cost(blocks: &[DBlock], profile: &Profile, block_ends: &BTreeMap<u64, u64>) -> u64 {
+    let weight = |b: &DBlock, to: u64| -> u64 {
+        let end = block_ends
+            .get(&b.orig_start)
+            .copied()
+            .unwrap_or(b.orig_start + INSTR_BYTES);
+        profile.edge_count(end - INSTR_BYTES, to)
+    };
+    let mut cost = 0u64;
+    for (i, b) in blocks.iter().enumerate() {
+        let len = b.instrs.len();
+        if len >= 2 {
+            if let (DInstr::Branch(_, taken), DInstr::Jump(fall)) =
+                (b.instrs[len - 2], b.instrs[len - 1])
+            {
+                // The branch executes on both sides, the jump on the
+                // fall side only.
+                cost += weight(b, taken) + 2 * weight(b, fall);
+                continue;
+            }
+        }
+        match b.instrs.last() {
+            Some(DInstr::Branch(_, taken)) => {
+                cost += weight(b, *taken);
+                if let Some(next) = blocks.get(i + 1) {
+                    cost += weight(b, next.orig_start);
+                }
+            }
+            Some(DInstr::Jump(t)) => cost += weight(b, *t),
+            _ => {}
+        }
+    }
+    cost
+}
+
+/// Profile-guided jump threading / superblock straightening.
+///
+/// Normalizes every implicit fall-through into an explicit jump (making
+/// block order a free variable), lays blocks out along greedy traces that
+/// follow each block's hottest successor, then fixes every trailing
+/// `Branch`+`Jump` pair against the physical order: the jump is elided
+/// when its target follows, the branch is negated (and the jump elided)
+/// when *its* target follows, and otherwise the branch points at the
+/// hotter side so the two-transfer path is the cold one.
+///
+/// The candidate layout is adopted only if it strictly improves the
+/// profile-weighted transfer cost ([`layout_cost`]), or matches it with
+/// strictly fewer static instructions; otherwise the input layout is
+/// restored. That keeps the pass monotone (so the pipeline fixpoint
+/// terminates) and prevents the greedy trace from pessimizing workloads
+/// whose existing layout already follows the hot paths. Returns the
+/// number of control transfers removed or redirected (0 when the
+/// candidate is rejected, so the pipeline's fixpoint counters stay
+/// honest). Purely a layout transform — the set of executed non-control
+/// instructions on any path is unchanged.
+fn jump_thread(
+    blocks: &mut Vec<DBlock>,
+    entry: u64,
+    profile: &Profile,
+    block_ends: &BTreeMap<u64, u64>,
+) -> usize {
+    let n = blocks.len();
+    if n == 0 {
+        return 0;
+    }
+    // A final block that can fall off the end of the image pins the whole
+    // layout (there is nothing to fall into); leave such programs alone.
+    if matches!(exit_of(&blocks[n - 1]), BlockExit::Open { .. }) {
+        return 0;
+    }
+    let input = blocks.clone();
+    let hot = |start: u64| profile.exec_count(start);
+
+    // 1. Normalize: explicit jump for every implicit fall-through.
+    for i in 0..n - 1 {
+        if matches!(exit_of(&blocks[i]), BlockExit::Open { .. }) {
+            let next = blocks[i + 1].orig_start;
+            blocks[i].instrs.push(DInstr::Jump(next));
+        }
+    }
+
+    // 2. Point each branch at its colder successor (the trailing jump then
+    // names the hot side, which the trace layout follows). Step 4 re-fixes
+    // orientation against the physical order, so this is purely a layout
+    // heuristic.
+    for block in blocks.iter_mut() {
+        let len = block.instrs.len();
+        if len < 2 {
+            continue;
+        }
+        if let (DInstr::Branch(bi, taken), DInstr::Jump(fall)) =
+            (block.instrs[len - 2], block.instrs[len - 1])
+        {
+            if hot(taken) > hot(fall) {
+                if let Some(neg) = bi.negated() {
+                    block.instrs[len - 2] = DInstr::Branch(neg, fall);
+                    block.instrs[len - 1] = DInstr::Jump(taken);
+                }
+            }
+        }
+    }
+
+    // 3. Greedy trace layout: start at the entry and follow each block's
+    // unconditional jump while the target is unplaced; when the jump side
+    // is already placed (a back edge), continue through the branch side so
+    // the cold continuation stays adjacent. Seed further traces from the
+    // hottest unplaced block.
+    let index = block_index(blocks);
+    let mut placed = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut seed = index.get(&entry).copied();
+    loop {
+        let start = match seed.take().filter(|&i| !placed[i]) {
+            Some(i) => i,
+            None => {
+                let Some(best) = (0..n)
+                    .filter(|&i| !placed[i])
+                    .max_by_key(|&i| (hot(blocks[i].orig_start), std::cmp::Reverse(i)))
+                else {
+                    break;
+                };
+                best
+            }
+        };
+        let mut cur = start;
+        loop {
+            placed[cur] = true;
+            order.push(cur);
+            let unplaced = |t: &u64| index.get(t).copied().filter(|&j| !placed[j]);
+            let len = blocks[cur].instrs.len();
+            let next = match blocks[cur].instrs.last() {
+                Some(DInstr::Jump(t)) => unplaced(t).or_else(|| {
+                    if let Some(DInstr::Branch(_, bt)) =
+                        (len >= 2).then(|| blocks[cur].instrs[len - 2]).as_ref()
+                    {
+                        unplaced(bt)
+                    } else {
+                        None
+                    }
+                }),
+                _ => None,
+            };
+            match next {
+                Some(j) => cur = j,
+                None => break,
+            }
+        }
+    }
+    let mut reordered: Vec<DBlock> = order.into_iter().map(|i| blocks[i].clone()).collect();
+
+    // 4. Fix control transfers against the physical order.
+    let mut changed = 0;
+    for i in 0..n {
+        let next_start = (i + 1 < n).then(|| reordered[i + 1].orig_start);
+        let len = reordered[i].instrs.len();
+        if len >= 2 {
+            if let (DInstr::Branch(bi, taken), DInstr::Jump(fall)) =
+                (reordered[i].instrs[len - 2], reordered[i].instrs[len - 1])
+            {
+                if Some(fall) == next_start {
+                    // Hot side physically follows: drop the jump.
+                    reordered[i].instrs.pop();
+                    changed += 1;
+                } else if Some(taken) == next_start {
+                    if let Some(neg) = bi.negated() {
+                        // Branch side follows: negate so it falls through.
+                        reordered[i].instrs[len - 2] = DInstr::Branch(neg, fall);
+                        reordered[i].instrs.pop();
+                        changed += 1;
+                    }
+                } else if hot(fall) > hot(taken) {
+                    // Neither side adjacent: the branch-taken path costs
+                    // one transfer, the jump path two — point the branch
+                    // at the strictly-hotter side.
+                    if let Some(neg) = bi.negated() {
+                        reordered[i].instrs[len - 2] = DInstr::Branch(neg, fall);
+                        reordered[i].instrs[len - 1] = DInstr::Jump(taken);
+                        changed += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        if let Some(DInstr::Jump(t)) = reordered[i].instrs.last() {
+            if Some(*t) == next_start {
+                reordered[i].instrs.pop();
+                changed += 1;
+            }
+        }
+    }
+    // Adopt only on strict lexicographic (dynamic cost, static size)
+    // improvement.
+    let (old_cost, new_cost) = (
+        layout_cost(&input, profile, block_ends),
+        layout_cost(&reordered, profile, block_ends),
+    );
+    let improves = new_cost < old_cost
+        || (new_cost == old_cost && static_len(&reordered) < static_len(&input));
+    if !improves {
+        *blocks = input;
+        return 0;
+    }
+    *blocks = reordered;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssp_isa::{Instr, Reg};
+
+    fn block(start: u64, instrs: Vec<DInstr>) -> DBlock {
+        DBlock {
+            orig_start: start,
+            instrs,
+        }
+    }
+
+    fn no_entries() -> BTreeSet<u64> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn const_fold_rematerializes_known_alu_results() {
+        // a0 = 6; a1 = a0 + 1 folds to li a1, 7.
+        let mut blocks = vec![block(
+            0x100,
+            vec![
+                DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 6)),
+                DInstr::Copy(Instr::Addi(Reg::A1, Reg::A0, 1)),
+                DInstr::Copy(Instr::Halt),
+            ],
+        )];
+        let (folded, branches) = const_fold(&mut blocks, &no_entries());
+        assert_eq!((folded, branches), (1, 0));
+        assert_eq!(
+            blocks[0].instrs[1],
+            DInstr::Copy(Instr::Addi(Reg::A1, Reg::ZERO, 7))
+        );
+    }
+
+    #[test]
+    fn const_fold_collapses_decided_branches_and_prunes() {
+        // a0 = 3, `beqz a0` can never be taken: the branch folds away and
+        // its target block (cold, not a root) is pruned.
+        let mut blocks = vec![
+            block(
+                0x100,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 3)),
+                    DInstr::Branch(Instr::Beq(Reg::A0, Reg::ZERO, 0), 0x200),
+                ],
+            ),
+            block(0x108, vec![DInstr::Copy(Instr::Halt)]),
+            block(0x200, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        let (_, branches) = const_fold(&mut blocks, &no_entries());
+        assert_eq!(branches, 1);
+        let roots: BTreeSet<u64> = [0x100].into_iter().collect();
+        assert_eq!(prune_unreachable(&mut blocks, &roots), 1);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.orig_start != 0x200));
+    }
+
+    #[test]
+    fn reseed_entries_suppress_folding() {
+        // Same program, but 0x108 is a task boundary: facts there are
+        // pessimistic, so a use of a0 downstream of the boundary must not
+        // fold even though the only IR path sets a0 = 3.
+        let mut blocks = vec![
+            block(
+                0x100,
+                vec![DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 3))],
+            ),
+            block(
+                0x108,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A1, Reg::A0, 1)),
+                    DInstr::Copy(Instr::Halt),
+                ],
+            ),
+        ];
+        let entries: BTreeSet<u64> = [0x108].into_iter().collect();
+        let (folded, _) = const_fold(&mut blocks, &entries);
+        assert_eq!(folded, 0);
+        assert_eq!(
+            blocks[1].instrs[0],
+            DInstr::Copy(Instr::Addi(Reg::A1, Reg::A0, 1))
+        );
+    }
+
+    #[test]
+    fn copy_prop_rewrites_uses_across_blocks() {
+        // a1 := a0, then a2 = a1 + 1 in the fall-through block becomes
+        // a2 = a0 + 1 (there is a unique predecessor, no reseed).
+        let mut blocks = vec![
+            block(
+                0x100,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A0, Reg::ZERO, 9)),
+                    DInstr::Copy(Instr::Addi(Reg::A1, Reg::A0, 0)),
+                ],
+            ),
+            block(
+                0x108,
+                vec![
+                    DInstr::Copy(Instr::Addi(Reg::A2, Reg::A1, 1)),
+                    DInstr::Copy(Instr::Halt),
+                ],
+            ),
+        ];
+        assert_eq!(copy_prop(&mut blocks, &no_entries()), 1);
+        assert_eq!(
+            blocks[1].instrs[0],
+            DInstr::Copy(Instr::Addi(Reg::A2, Reg::A0, 1))
+        );
+    }
+
+    #[test]
+    fn jump_thread_straightens_jump_chains() {
+        // 0x100 jumps to 0x300 which halts; 0x200 is an unreachable-ish
+        // sibling kept in between. Threading moves 0x300 after 0x100 and
+        // elides the jump. (An empty profile means hotness 0 everywhere;
+        // trace-following still straightens unconditional chains.)
+        let profile = Profile::collect(
+            &mssp_isa::asm::assemble("main: halt").unwrap(),
+            Profile::UNBOUNDED,
+        )
+        .unwrap();
+        let mut blocks = vec![
+            block(0x100, vec![DInstr::Jump(0x300)]),
+            block(0x200, vec![DInstr::Copy(Instr::Halt)]),
+            block(0x300, vec![DInstr::Copy(Instr::Halt)]),
+        ];
+        let changed = jump_thread(&mut blocks, 0x100, &profile, &BTreeMap::new());
+        assert!(changed >= 1);
+        assert_eq!(blocks[0].orig_start, 0x100);
+        assert_eq!(blocks[1].orig_start, 0x300);
+        assert!(blocks[0].instrs.is_empty(), "jump elided: {blocks:?}");
+    }
+
+    #[test]
+    fn jump_thread_bails_on_open_final_block() {
+        let profile = Profile::collect(
+            &mssp_isa::asm::assemble("main: halt").unwrap(),
+            Profile::UNBOUNDED,
+        )
+        .unwrap();
+        let mut blocks = vec![
+            block(0x100, vec![DInstr::Jump(0x200)]),
+            block(0x200, vec![DInstr::Copy(Instr::nop())]), // falls off the end
+        ];
+        let before = blocks.clone();
+        assert_eq!(
+            jump_thread(&mut blocks, 0x100, &profile, &BTreeMap::new()),
+            0
+        );
+        assert_eq!(blocks, before);
+    }
+}

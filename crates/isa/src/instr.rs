@@ -259,6 +259,72 @@ impl Instr {
         }
     }
 
+    /// Rewrites every *source* operand through `f`, leaving destinations,
+    /// immediates and offsets untouched.
+    ///
+    /// This is the substitution primitive of copy propagation: replacing a
+    /// use of `r` with a register holding the same value never changes the
+    /// instruction's result. Reads of [`Reg::ZERO`] are passed through `f`
+    /// like any other (a well-behaved `f` maps `zero` to itself).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mssp_isa::{Instr, Reg};
+    /// let add = Instr::Add(Reg::A0, Reg::A1, Reg::A2);
+    /// let swapped = add.map_uses(|r| if r == Reg::A1 { Reg::T0 } else { r });
+    /// assert_eq!(swapped, Instr::Add(Reg::A0, Reg::T0, Reg::A2));
+    /// ```
+    #[must_use]
+    pub fn map_uses(self, mut f: impl FnMut(Reg) -> Reg) -> Instr {
+        use Instr::*;
+        match self {
+            Add(rd, a, b) => Add(rd, f(a), f(b)),
+            Sub(rd, a, b) => Sub(rd, f(a), f(b)),
+            And(rd, a, b) => And(rd, f(a), f(b)),
+            Or(rd, a, b) => Or(rd, f(a), f(b)),
+            Xor(rd, a, b) => Xor(rd, f(a), f(b)),
+            Sll(rd, a, b) => Sll(rd, f(a), f(b)),
+            Srl(rd, a, b) => Srl(rd, f(a), f(b)),
+            Sra(rd, a, b) => Sra(rd, f(a), f(b)),
+            Slt(rd, a, b) => Slt(rd, f(a), f(b)),
+            Sltu(rd, a, b) => Sltu(rd, f(a), f(b)),
+            Mul(rd, a, b) => Mul(rd, f(a), f(b)),
+            Div(rd, a, b) => Div(rd, f(a), f(b)),
+            Divu(rd, a, b) => Divu(rd, f(a), f(b)),
+            Rem(rd, a, b) => Rem(rd, f(a), f(b)),
+            Remu(rd, a, b) => Remu(rd, f(a), f(b)),
+            Addi(rd, a, i) => Addi(rd, f(a), i),
+            Andi(rd, a, i) => Andi(rd, f(a), i),
+            Ori(rd, a, i) => Ori(rd, f(a), i),
+            Xori(rd, a, i) => Xori(rd, f(a), i),
+            Slti(rd, a, i) => Slti(rd, f(a), i),
+            Sltiu(rd, a, i) => Sltiu(rd, f(a), i),
+            Slli(rd, a, s) => Slli(rd, f(a), s),
+            Srli(rd, a, s) => Srli(rd, f(a), s),
+            Srai(rd, a, s) => Srai(rd, f(a), s),
+            Lui(..) | Jal(..) | Halt => self,
+            Lb(rd, b, o) => Lb(rd, f(b), o),
+            Lbu(rd, b, o) => Lbu(rd, f(b), o),
+            Lh(rd, b, o) => Lh(rd, f(b), o),
+            Lhu(rd, b, o) => Lhu(rd, f(b), o),
+            Lw(rd, b, o) => Lw(rd, f(b), o),
+            Lwu(rd, b, o) => Lwu(rd, f(b), o),
+            Ld(rd, b, o) => Ld(rd, f(b), o),
+            Sb(s, b, o) => Sb(f(s), f(b), o),
+            Sh(s, b, o) => Sh(f(s), f(b), o),
+            Sw(s, b, o) => Sw(f(s), f(b), o),
+            Sd(s, b, o) => Sd(f(s), f(b), o),
+            Beq(a, b, o) => Beq(f(a), f(b), o),
+            Bne(a, b, o) => Bne(f(a), f(b), o),
+            Blt(a, b, o) => Blt(f(a), f(b), o),
+            Bge(a, b, o) => Bge(f(a), f(b), o),
+            Bltu(a, b, o) => Bltu(f(a), f(b), o),
+            Bgeu(a, b, o) => Bgeu(f(a), f(b), o),
+            Jalr(rd, b, o) => Jalr(rd, f(b), o),
+        }
+    }
+
     /// Whether this is a conditional branch.
     #[must_use]
     pub fn is_branch(&self) -> bool {
@@ -612,6 +678,27 @@ mod tests {
             "ld a0, -16(sp)"
         );
         assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+
+    #[test]
+    fn map_uses_touches_only_sources() {
+        let subst = |r: Reg| if r == Reg::A0 { Reg::T1 } else { r };
+        // Store: both the value and the base are sources.
+        assert_eq!(
+            Instr::Sd(Reg::A0, Reg::A0, 8).map_uses(subst),
+            Instr::Sd(Reg::T1, Reg::T1, 8)
+        );
+        // The destination register is never rewritten.
+        assert_eq!(
+            Instr::Addi(Reg::A0, Reg::A0, 1).map_uses(subst),
+            Instr::Addi(Reg::A0, Reg::T1, 1)
+        );
+        // Instructions without register sources pass through unchanged.
+        assert_eq!(
+            Instr::Lui(Reg::A0, 3).map_uses(subst),
+            Instr::Lui(Reg::A0, 3)
+        );
+        assert_eq!(Instr::Halt.map_uses(subst), Instr::Halt);
     }
 
     #[test]

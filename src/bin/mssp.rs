@@ -6,7 +6,9 @@
 //! mssp asm <file.s>                      assemble + disassemble a source file
 //! mssp run <file.s|workload> [scale]     sequential execution
 //! mssp profile <file.s|workload>         dynamic profile summary
-//! mssp distill <file.s|workload>         show distillation at all levels
+//! mssp distill <file.s|workload> [--stats]
+//!                                        show distillation at all levels
+//!                                        (--stats: per-pass pipeline deltas)
 //! mssp lint <file.s|workload|all> [--json]
 //!                                        statically check distilled output
 //! mssp exec <file.s|workload> [slaves]   full MSSP timing run vs baseline
@@ -26,12 +28,14 @@ fn main() -> ExitCode {
         Some("asm") => with_arg(&args, cmd_asm),
         Some("run") => with_arg(&args, |t| cmd_run(t, scale_arg(&args))),
         Some("profile") => with_arg(&args, cmd_profile),
-        Some("distill") => with_arg(&args, cmd_distill),
+        Some("distill") => with_arg(&args, |t| {
+            cmd_distill(t, args.iter().any(|a| a == "--stats"))
+        }),
         Some("lint") => with_arg(&args, |t| cmd_lint(t, args.iter().any(|a| a == "--json"))),
         Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
         _ => {
             eprintln!(
-                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n|--json]\n\
+                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n|--json|--stats]\n\
                  target: an .s file or a bundled workload name (`lint` also accepts `all`)"
             );
             return ExitCode::FAILURE;
@@ -143,7 +147,7 @@ fn cmd_profile(target: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_distill(target: &str) -> Result<(), String> {
+fn cmd_distill(target: &str, stats: bool) -> Result<(), String> {
     let p = load(target, None)?;
     let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
     for level in DistillLevel::all() {
@@ -160,6 +164,24 @@ fn cmd_distill(target: &str) -> Result<(), String> {
             d.boundaries().len(),
             d.crossings_per_task(),
         );
+        if stats && level == DistillLevel::Aggressive {
+            println!("pass pipeline ({level}):");
+            for delta in d.pass_trace() {
+                let net = delta.after as i64 - delta.before as i64;
+                println!(
+                    "  iter {}  {:<11} {:>4} -> {:>4}  ({net:+})",
+                    delta.iteration, delta.pass, delta.before, delta.after,
+                );
+            }
+            println!(
+                "  folded {} (+{} branches), copies {}, threaded {}, iterations {}",
+                s.const_folded,
+                s.branches_folded,
+                s.copies_propagated,
+                s.jumps_threaded,
+                s.pipeline_iterations,
+            );
+        }
     }
     Ok(())
 }

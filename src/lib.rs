@@ -63,7 +63,9 @@ pub mod prelude {
     pub use mssp_core::{
         check_refinement, run_threaded, Engine, EngineConfig, EngineStats, MsspRun, UnitCost,
     };
-    pub use mssp_distill::{distill, DistillConfig, DistillLevel, Distilled};
+    pub use mssp_distill::{
+        distill, DistillConfig, DistillLevel, Distilled, PassConfig, PassDelta,
+    };
     pub use mssp_isa::{asm::assemble, Instr, PcSpan, Program, Reg};
     pub use mssp_lint::{distill_validated, lint, LintConfig, LintId, Report, Severity};
     pub use mssp_machine::{Cell, Delta, MachineState, SeqMachine};

@@ -59,6 +59,17 @@ fn distill_prints_all_levels() {
 }
 
 #[test]
+fn distill_stats_prints_per_pass_deltas() {
+    let (stdout, _, ok) = mssp(&["distill", "gap_like", "--stats"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("pass pipeline (aggressive):"), "{stdout}");
+    for pass in ["const-fold", "copy-prop", "dce", "jump-thread"] {
+        assert!(stdout.contains(pass), "missing {pass} delta: {stdout}");
+    }
+    assert!(stdout.contains("iterations"), "{stdout}");
+}
+
+#[test]
 fn lint_is_clean_on_a_workload() {
     let (stdout, _, ok) = mssp(&["lint", "gzip_like"]);
     assert!(ok, "{stdout}");

@@ -57,3 +57,72 @@ fn random_programs_commit_sequential_state() {
         assert_eq!(run.stats.committed_instructions, seq.instructions());
     });
 }
+
+/// Differential fuzz over the optimizing pass pipeline: whatever subset of
+/// passes runs, the architected state MSSP commits must be exactly the
+/// sequential machine's. A pass whose output diverges only in *speed*
+/// costs squashes; one that diverges in committed state is a correctness
+/// bug this test exists to catch.
+#[test]
+fn pass_ablations_commit_identical_state() {
+    let variants: [PassConfig; 6] = [
+        PassConfig::all(),
+        PassConfig {
+            const_fold: false,
+            ..PassConfig::all()
+        },
+        PassConfig {
+            copy_prop: false,
+            ..PassConfig::all()
+        },
+        PassConfig {
+            dce: false,
+            ..PassConfig::all()
+        },
+        PassConfig {
+            jump_thread: false,
+            ..PassConfig::all()
+        },
+        PassConfig::dce_only(),
+    ];
+    check(0xF022_0002, 16, |rng| {
+        let src = arb_loop_nest(rng);
+        let target = *rng.choose(&[8u64, 64, 256]);
+        let program = assemble(&src).expect("generated programs assemble");
+        let mut seq = SeqMachine::boot(&program);
+        seq.run(20_000_000).expect("no faults");
+        assert!(seq.halted(), "generated programs halt within bound");
+        let profile = Profile::collect(&program, u64::MAX).expect("profiles");
+
+        for passes in variants {
+            let dcfg = DistillConfig {
+                target_task_size: target,
+                passes,
+                ..DistillConfig::default()
+            };
+            let d = distill(&program, &profile, &dcfg).expect("distills");
+            let mut engine = Engine::new(&program, &d, EngineConfig::default(), UnitCost);
+            engine.enable_commit_trace();
+            let run = engine.run().expect("terminates");
+            check_refinement(&program, &run).expect("refinement holds");
+            assert_eq!(
+                run.state.reg(Reg::S1),
+                seq.state().reg(Reg::S1),
+                "checksum diverged under {passes:?}"
+            );
+            assert_eq!(
+                run.state.reg(Reg::S3),
+                seq.state().reg(Reg::S3),
+                "S3 diverged under {passes:?}"
+            );
+            for w in (0x300000u64 >> 3)..(0x300000u64 >> 3) + 64 {
+                assert_eq!(
+                    run.state.load_word(w),
+                    seq.state().load_word(w),
+                    "memory diverged under {passes:?}"
+                );
+            }
+            assert_eq!(run.stats.committed_instructions, seq.instructions());
+        }
+    });
+}

@@ -87,6 +87,30 @@ fn squash_rates_stay_negligible() {
 }
 
 #[test]
+fn pass_pipeline_never_grows_static_size() {
+    // The optimizing pipeline must not emit a bigger master program than
+    // the DCE-only distiller it replaced — on any workload. Jump threading
+    // in particular is gated on a layout-cost model; this pins that gate.
+    for w in workloads() {
+        let program = w.program(w.default_scale);
+        let profile = Profile::collect(&program, u64::MAX).unwrap();
+        let full = distill(&program, &profile, &DistillConfig::default()).unwrap();
+        let dce_cfg = DistillConfig {
+            passes: PassConfig::dce_only(),
+            ..DistillConfig::default()
+        };
+        let dce = distill(&program, &profile, &dce_cfg).unwrap();
+        assert!(
+            full.stats().distilled_static <= dce.stats().distilled_static,
+            "{}: pipeline grew the distilled program ({} > {} static instructions)",
+            w.name,
+            full.stats().distilled_static,
+            dce.stats().distilled_static,
+        );
+    }
+}
+
+#[test]
 fn more_slaves_never_hurt_much_and_help_somewhere() {
     let w = Workload::by_name("gap_like").unwrap();
     let program = w.program(w.default_scale / 2);
