@@ -1,0 +1,189 @@
+//! BENCH — machine-readable threaded-throughput benchmark.
+//!
+//! Runs every workload through the real OS-thread executor at 1/2/4/8
+//! workers and emits wall-clock tasks/sec, speedup over one worker, and
+//! the O(delta) commit-pipeline counters (live-in re-check ratio,
+//! pre-verified fraction, snapshot/delta publishing split) as
+//! `BENCH_threaded.json`, so the coordinator's verify cost is tracked
+//! across PRs. CI runs this at small scale and fails the build on a
+//! scaling or re-check regression.
+//!
+//! ```text
+//! bench_threaded [--json] [--out PATH] [--scale-div N] [--repeats N]
+//!                [--min-speedup4 X] [--max-recheck-ratio Y]
+//! ```
+//!
+//! * `--json` — emit JSON (to stdout, or to `--out PATH`); otherwise a
+//!   human-readable table is printed.
+//! * `--scale-div N` — divide every workload's default scale by `N`
+//!   (default 1; CI uses a large divisor for speed).
+//! * `--repeats N` — wall-clock runs per point, keeping the best
+//!   (default 3).
+//! * `--min-speedup4 X` — exit non-zero if the geomean 4-worker
+//!   wall-clock speedup over 1 worker falls below `X`. Skipped with a
+//!   warning when the host reports fewer than 4 available cores: with
+//!   every worker serialized onto one core there is no parallel speedup
+//!   to measure, only scheduler noise.
+//! * `--max-recheck-ratio Y` — exit non-zero if the geomean live-in
+//!   re-check ratio exceeds `Y`. Host-independent: this gate guards the
+//!   O(delta) property itself and always applies.
+
+use std::process::ExitCode;
+
+use mssp_bench::{
+    collect_threaded_records, print_header, render_threaded_json, threaded_geomean_speedup,
+    THREADED_WORKER_COUNTS,
+};
+use mssp_stats::{fmt3, geomean, Table};
+
+struct Args {
+    json: bool,
+    out: Option<String>,
+    scale_div: u64,
+    repeats: u32,
+    min_speedup4: Option<f64>,
+    max_recheck_ratio: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        out: None,
+        scale_div: 1,
+        repeats: 3,
+        min_speedup4: None,
+        max_recheck_ratio: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--scale-div" => {
+                args.scale_div = value("--scale-div")?
+                    .parse()
+                    .map_err(|e| format!("--scale-div: {e}"))?;
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+            }
+            "--min-speedup4" => {
+                args.min_speedup4 = Some(
+                    value("--min-speedup4")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup4: {e}"))?,
+                );
+            }
+            "--max-recheck-ratio" => {
+                args.max_recheck_ratio = Some(
+                    value("--max-recheck-ratio")?
+                        .parse()
+                        .map_err(|e| format!("--max-recheck-ratio: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_threaded: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let records = collect_threaded_records(args.scale_div, args.repeats);
+
+    if args.json {
+        let json = render_threaded_json(&records, args.scale_div, cores);
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("bench_threaded: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{json}"),
+        }
+    } else {
+        print_header(
+            "BENCH",
+            "Threaded executor throughput",
+            &format!(
+                "scale divisor {}, best of {}, {} cores available",
+                args.scale_div, args.repeats, cores
+            ),
+        );
+        let mut headers = vec!["benchmark".to_string()];
+        for &w in &THREADED_WORKER_COUNTS {
+            headers.push(format!("{w}w tasks/s"));
+        }
+        for &w in &THREADED_WORKER_COUNTS[1..] {
+            headers.push(format!("x{w}"));
+        }
+        headers.push("recheck".to_string());
+        let mut table = Table::new(headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for r in &records {
+            let mut row = vec![r.name.clone()];
+            for p in &r.points {
+                row.push(format!("{:.0}", p.tasks_per_sec));
+            }
+            for p in &r.points[1..] {
+                row.push(format!("{:.2}", p.speedup_vs_1w));
+            }
+            row.push(fmt3(r.recheck_ratio));
+            table.row(row);
+        }
+        println!("{}", table.render());
+        for &w in &THREADED_WORKER_COUNTS[1..] {
+            println!(
+                "geomean speedup x{w}:       {:.3}",
+                threaded_geomean_speedup(&records, w)
+            );
+        }
+        let recheck: Vec<f64> = records.iter().map(|r| r.recheck_ratio).collect();
+        println!("geomean recheck ratio:     {:.3}", geomean(&recheck));
+    }
+
+    let mut failed = false;
+    if let Some(floor) = args.min_speedup4 {
+        if cores < 4 {
+            eprintln!(
+                "bench_threaded: only {cores} core(s) available — skipping the \
+                 4-worker speedup gate (floor {floor:.3}); no parallel speedup \
+                 is measurable on this host"
+            );
+        } else {
+            let geo = threaded_geomean_speedup(&records, 4);
+            if geo < floor {
+                eprintln!(
+                    "bench_threaded: geomean 4-worker speedup {geo:.3} below floor {floor:.3}"
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(ceiling) = args.max_recheck_ratio {
+        let recheck: Vec<f64> = records.iter().map(|r| r.recheck_ratio).collect();
+        let geo = geomean(&recheck);
+        if geo > ceiling {
+            eprintln!(
+                "bench_threaded: geomean live-in re-check ratio {geo:.3} above ceiling {ceiling:.3}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

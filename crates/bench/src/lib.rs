@@ -254,6 +254,220 @@ pub fn render_speedup_json(records: &[SpeedupRecord], divisor: u64) -> String {
     out
 }
 
+/// Worker counts measured by the threaded-throughput benchmark.
+pub const THREADED_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One worker-count measurement inside a [`ThreadedRecord`].
+#[derive(Debug, Clone)]
+pub struct ThreadedPoint {
+    /// OS-thread slave count for this run.
+    pub workers: usize,
+    /// Best-of-`repeats` wall-clock seconds for the whole run.
+    pub secs: f64,
+    /// Committed tasks per wall-clock second.
+    pub tasks_per_sec: f64,
+    /// Wall-clock speedup over the 1-worker point of the same workload.
+    pub speedup_vs_1w: f64,
+}
+
+/// One workload's row in the machine-readable threaded-throughput
+/// benchmark (`BENCH_threaded.json`): wall-clock scaling of the real
+/// OS-thread executor plus the O(delta) commit-pipeline counters that
+/// track how much verify work the coordinator actually performs.
+#[derive(Debug, Clone)]
+pub struct ThreadedRecord {
+    /// Workload name.
+    pub name: String,
+    /// Scale the workload ran at.
+    pub scale: u64,
+    /// Sequential dynamic instruction count at that scale.
+    pub seq_instructions: u64,
+    /// One point per entry of [`THREADED_WORKER_COUNTS`].
+    pub points: Vec<ThreadedPoint>,
+    /// Coordinator re-check ratio from the 4-worker run: live-in cells
+    /// re-checked / live-in cells recorded. Lower is better — it is the
+    /// fraction of the memoization test the coordinator still pays for.
+    pub recheck_ratio: f64,
+    /// Fraction of committed tasks whose verification was settled
+    /// entirely by the worker-side pre-verification (4-worker run).
+    pub pre_verified_fraction: f64,
+    /// Full snapshots materialized by the coordinator (4-worker run).
+    pub snapshots_materialized: u64,
+    /// Incremental commit deltas published instead (4-worker run).
+    pub deltas_published: u64,
+}
+
+/// Measures every bundled workload with the threaded executor at
+/// `default_scale / divisor`, at each of [`THREADED_WORKER_COUNTS`],
+/// keeping the best of `repeats` wall-clock runs per point.
+///
+/// # Panics
+///
+/// Panics on any harness failure, including a checksum mismatch between
+/// the threaded executor and the sequential machine (a correctness bug,
+/// not a measurement).
+#[must_use]
+pub fn collect_threaded_records(divisor: u64, repeats: u32) -> Vec<ThreadedRecord> {
+    assert!(repeats > 0, "need at least one run per point");
+    mssp_workloads::workloads()
+        .iter()
+        .map(|w| {
+            let scale = harness_scale(w, divisor);
+            let program = w.program(scale);
+            let (distilled, _) = prepare(&program, &DistillConfig::default());
+            let mut seq = SeqMachine::boot(&program);
+            seq.run(u64::MAX).expect("workload halts");
+            let expected = seq.state().reg(CHECKSUM_REG);
+
+            let mut points = Vec::new();
+            let mut four_worker_stats = None;
+            for &workers in &THREADED_WORKER_COUNTS {
+                let cfg = mssp_core::EngineConfig {
+                    num_slaves: workers,
+                    ..mssp_core::EngineConfig::default()
+                };
+                let mut best: Option<mssp_core::ThreadedRun> = None;
+                for _ in 0..repeats {
+                    let run = mssp_core::run_threaded(&program, &distilled, cfg)
+                        .expect("threaded run succeeds");
+                    assert_eq!(
+                        run.state.reg(CHECKSUM_REG),
+                        expected,
+                        "{}: threaded checksum mismatch — correctness bug",
+                        w.name
+                    );
+                    if best.as_ref().is_none_or(|b| run.elapsed < b.elapsed) {
+                        best = Some(run);
+                    }
+                }
+                let run = best.expect("repeats > 0");
+                let secs = run.elapsed.as_secs_f64().max(1e-9);
+                let tasks_per_sec = run.stats.committed_tasks as f64 / secs;
+                let speedup_vs_1w = points
+                    .first()
+                    .map_or(1.0, |p: &ThreadedPoint| p.secs / secs);
+                points.push(ThreadedPoint {
+                    workers,
+                    secs,
+                    tasks_per_sec,
+                    speedup_vs_1w,
+                });
+                if workers == 4 {
+                    four_worker_stats = Some(run.stats);
+                }
+            }
+            let stats = four_worker_stats.expect("worker counts include 4");
+            let pre_verified_fraction = if stats.committed_tasks == 0 {
+                0.0
+            } else {
+                stats.pre_verified_tasks as f64 / stats.committed_tasks as f64
+            };
+            ThreadedRecord {
+                name: w.name.to_string(),
+                scale,
+                seq_instructions: seq.instructions(),
+                points,
+                recheck_ratio: stats.recheck_ratio(),
+                pre_verified_fraction,
+                snapshots_materialized: stats.snapshots_materialized,
+                deltas_published: stats.deltas_published,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup over 1 worker at `workers`, across records.
+#[must_use]
+pub fn threaded_geomean_speedup(records: &[ThreadedRecord], workers: usize) -> f64 {
+    let col: Vec<f64> = records
+        .iter()
+        .filter_map(|r| {
+            r.points
+                .iter()
+                .find(|p| p.workers == workers)
+                .map(|p| p.speedup_vs_1w)
+        })
+        .collect();
+    mssp_stats::geomean(&col)
+}
+
+/// Renders [`ThreadedRecord`]s as the `BENCH_threaded.json` document
+/// (hand-rolled: the workspace is std-only). `available_parallelism` is
+/// recorded so consumers can tell real multi-core scaling from runs on
+/// boxes where the OS serialized every worker.
+#[must_use]
+pub fn render_threaded_json(
+    records: &[ThreadedRecord],
+    divisor: u64,
+    available_parallelism: usize,
+) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mssp-bench-threaded/v1\",\n");
+    out.push_str(&format!("  \"scale_divisor\": {divisor},\n"));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {available_parallelism},\n"
+    ));
+    out.push_str(&format!(
+        "  \"worker_counts\": [{}],\n",
+        THREADED_WORKER_COUNTS
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": {}, \"seq_instructions\": {},\n",
+            r.name, r.scale, r.seq_instructions
+        ));
+        out.push_str("     \"runs\": [");
+        for (j, p) in r.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"workers\": {}, \"secs\": {}, \"tasks_per_sec\": {}, \
+                 \"speedup_vs_1w\": {}}}{}",
+                p.workers,
+                num(p.secs),
+                num(p.tasks_per_sec),
+                num(p.speedup_vs_1w),
+                if j + 1 < r.points.len() { ", " } else { "" },
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "     \"recheck_ratio\": {}, \"pre_verified_fraction\": {}, \
+             \"snapshots_materialized\": {}, \"deltas_published\": {}}}{}\n",
+            num(r.recheck_ratio),
+            num(r.pre_verified_fraction),
+            r.snapshots_materialized,
+            r.deltas_published,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    for &workers in &THREADED_WORKER_COUNTS[1..] {
+        out.push_str(&format!(
+            "  \"geomean_speedup_x{}\": {},\n",
+            workers,
+            num(threaded_geomean_speedup(records, workers))
+        ));
+    }
+    let recheck: Vec<f64> = records.iter().map(|r| r.recheck_ratio).collect();
+    out.push_str(&format!(
+        "  \"geomean_recheck_ratio\": {}\n",
+        num(mssp_stats::geomean(&recheck))
+    ));
+    out.push_str("}\n");
+    out
+}
+
 /// Sequential dynamic instruction count of a program.
 #[must_use]
 pub fn seq_instructions(program: &Program) -> u64 {
@@ -321,6 +535,42 @@ mod tests {
         // the hand-rolled emitter.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn threaded_json_is_well_formed() {
+        let records = vec![ThreadedRecord {
+            name: "gzip_like".to_string(),
+            scale: 2048,
+            seq_instructions: 123_456,
+            points: THREADED_WORKER_COUNTS
+                .iter()
+                .enumerate()
+                .map(|(i, &workers)| ThreadedPoint {
+                    workers,
+                    secs: 0.5 / (i + 1) as f64,
+                    tasks_per_sec: 100.0 * (i + 1) as f64,
+                    speedup_vs_1w: (i + 1) as f64,
+                })
+                .collect(),
+            recheck_ratio: 0.25,
+            pre_verified_fraction: 0.75,
+            snapshots_materialized: 3,
+            deltas_published: 97,
+        }];
+        let json = render_threaded_json(&records, 8, 4);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"mssp-bench-threaded/v1\""));
+        assert!(json.contains("\"available_parallelism\": 4"));
+        assert!(json.contains("\"worker_counts\": [1, 2, 4, 8]"));
+        assert!(json.contains("\"recheck_ratio\": 0.250000"));
+        assert!(json.contains("\"geomean_speedup_x4\": 3.000000"));
+        assert!(json.contains("\"geomean_recheck_ratio\": 0.250000"));
+        // Balanced braces/brackets — a cheap structural sanity check for
+        // the hand-rolled emitter.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(threaded_geomean_speedup(&records, 2), 2.0);
     }
 
     #[test]

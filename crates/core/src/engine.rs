@@ -67,6 +67,13 @@ pub struct EngineConfig {
     pub throttle_window: u64,
     /// Recovery segments to run sequentially once throttled.
     pub throttle_duration: u64,
+    /// Differential-testing aid for the threaded executor: cross-check
+    /// every fast-path verify/commit decision against the
+    /// [`verify_and_commit`] oracle on a cloned architected state and
+    /// panic on any divergence (verdict or committed state). Expensive —
+    /// it re-clones architected state per task — and therefore off by
+    /// default; the discrete [`Engine`] ignores it (it *is* the oracle).
+    pub cross_check_commits: bool,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +88,7 @@ impl Default for EngineConfig {
             throttle_threshold: 0,
             throttle_window: 64,
             throttle_duration: 16,
+            cross_check_commits: false,
         }
     }
 }
@@ -132,7 +140,12 @@ pub fn verify_and_commit(arch: &mut MachineState, task: &Task, end: TaskEnd) -> 
         TaskEnd::Overrun => VerifyOutcome::Squash(SquashReason::Overrun),
         TaskEnd::Fault => VerifyOutcome::Squash(SquashReason::Fault),
         TaskEnd::Boundary(end_pc) | TaskEnd::Halted(end_pc) => {
-            if !task.live_ins.consistent_with_state(arch) {
+            // Squash diagnostics need only one offending cell; the
+            // iterator-based first-mismatch probe short-circuits without
+            // allocating the full mismatch report (callers that want the
+            // whole set — `Engine::enable_mismatch_samples` — still use
+            // `mismatches_against`).
+            if task.live_ins.first_mismatch_against(arch).is_some() {
                 return VerifyOutcome::Squash(SquashReason::LiveInMismatch);
             }
             arch.apply(&task.writes);
@@ -195,6 +208,24 @@ pub struct EngineStats {
     pub verify_busy_cycles: u64,
     /// Times the adaptive throttle took the master offline.
     pub throttle_events: u64,
+    /// Tasks committed entirely on worker pre-verification — the
+    /// coordinator re-checked **zero** live-ins against architected state
+    /// (threaded executor fast path).
+    pub pre_verified_tasks: u64,
+    /// Live-in cells the verify unit re-checked against architected
+    /// state. The discrete engine re-checks every recorded live-in; the
+    /// threaded fast path re-checks only pre-verification failures and
+    /// cells dirtied by commits after the task's spawn snapshot.
+    pub live_ins_rechecked: u64,
+    /// Live-in cells the verify unit skipped because worker-side
+    /// pre-verification already proved them (threaded executor only).
+    pub live_ins_skipped: u64,
+    /// Full architected-state snapshots materialized for publication
+    /// (threaded executor; squashes and chain-threshold crossings).
+    pub snapshots_materialized: u64,
+    /// Commits published to workers as an incremental write delta on the
+    /// commit log instead of a fresh snapshot (threaded executor).
+    pub deltas_published: u64,
 }
 
 impl EngineStats {
@@ -225,6 +256,21 @@ impl EngineStats {
             0.0
         } else {
             self.recovery_instructions as f64 / self.committed_instructions as f64
+        }
+    }
+
+    /// Verify-unit occupancy: the fraction of presented live-in cells the
+    /// coordinator actually re-checked against architected state
+    /// (re-checked / (re-checked + skipped)). `1.0` for the discrete
+    /// engine, which re-checks everything; the threaded fast path drives
+    /// this down toward the true cross-task conflict rate.
+    #[must_use]
+    pub fn recheck_ratio(&self) -> f64 {
+        let presented = self.live_ins_rechecked + self.live_ins_skipped;
+        if presented == 0 {
+            1.0
+        } else {
+            self.live_ins_rechecked as f64 / presented as f64
         }
     }
 }
@@ -618,6 +664,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
                     sizes.push(task.executed);
                 }
                 self.stats.live_in_cells += task.live_ins.len() as u64;
+                // The discrete verify unit re-checks every recorded
+                // live-in (no worker-side pre-verification here).
+                self.stats.live_ins_rechecked += task.live_ins.len() as u64;
                 self.stats.live_in_reg_cells += task.live_ins.reg_cells() as u64;
                 self.stats.live_in_mem_cells += task.live_ins.mem_cells() as u64;
                 self.stats.live_out_cells += task.writes.len() as u64;

@@ -59,4 +59,4 @@ pub use refinement::{check_refinement, RefinementError};
 pub use task::{
     BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId, TaskStatus, TaskStorage,
 };
-pub use threaded::{run_threaded, ThreadedRun};
+pub use threaded::{run_threaded, ThreadedError, ThreadedRun};

@@ -2,48 +2,120 @@
 //!
 //! The discrete-time [`crate::Engine`] is the reference implementation —
 //! deterministic and cost-model-driven. This module demonstrates the same
-//! protocol on actual parallel hardware: worker threads execute
-//! speculative tasks concurrently while the coordinator thread runs the
-//! master and the in-order verify/commit unit.
+//! protocol on actual parallel hardware: the master interpreter and the
+//! slave tasks each run on their own OS thread, and the coordinator
+//! thread runs only the in-order verify/commit unit.
 //!
-//! # Checkpoint-snapshot live-ins
+//! # O(delta) verify/commit
 //!
-//! Slaves in the paper execute against the *master's checkpoint* — the
-//! architected state as of the task's spawn — never against a live,
-//! mutating machine. We mirror that here: the coordinator owns the
-//! architected [`MachineState`] outright (no lock), and every spawned
-//! [`WorkItem`] carries an immutable `Arc<MachineState>` snapshot
-//! published at the most recent commit or recovery. Workers resolve a
-//! task's live-ins from that spawn-time snapshot plus the task's private
-//! overlay, so the hot execute loop acquires **no shared lock at all**.
-//! Snapshot publication is cheap: `SparseMem` pages are `Arc`-backed
-//! copy-on-write, so cloning architected state is O(resident pages)
-//! refcount bumps and each commit only unshares the pages it touches.
+//! The verify/commit unit is MSSP's serialization point, so everything on
+//! the coordinator is sized by the *task's footprint*, never by machine
+//! state:
+//!
+//! * **Worker-side pre-verification.** After finishing a task, the worker
+//!   re-checks the recorded live-ins against the immutable snapshot +
+//!   pending-delta view it executed from and ships the set of failing
+//!   cells with the result. The coordinator then re-checks only (a) those
+//!   failures and (b) live-ins intersecting cells written by tasks
+//!   committed *after* the task's spawn sequence number — found by
+//!   probing the commit log's suffix with [`Delta::intersects`]. A task
+//!   whose re-check set is empty commits without the coordinator reading
+//!   a single cell of architected state.
+//!
+//! * **Incremental snapshot publishing.** Committing no longer clones
+//!   architected state. The committed write [`Delta`] is pushed onto an
+//!   append-only [`CommitLog`]; a spawned task carries the last
+//!   materialized base snapshot plus the log suffix, which the worker
+//!   folds into one overlay segment for the existing
+//!   [`crate::task::TaskStorage`] layering. A fresh full snapshot is
+//!   materialized only when the pending chain crosses a length/size
+//!   threshold or on squash.
+//!
+//! * **Batched commit application.** Consecutive clean commits accumulate
+//!   as deltas and are applied to architected state in one
+//!   [`MachineState::apply_batch`] superimposition, deferred until
+//!   something actually needs to *read* architected state (a live-in
+//!   re-check, a squash, a snapshot materialization, or run end).
+//!
+//! Soundness is unchanged from the paper's memoization test. A live-in
+//! passing pre-verification matched the architected value as of spawn
+//! sequence `s` (snapshot + pending deltas ≡ architected state at `s`,
+//! since recovery always bumps the epoch and discards in-flight work).
+//! If no commit in `[s, now)` wrote the cell, the architected value at
+//! commit time is byte-identical to the value pre-verification compared
+//! against, so skipping the re-check returns exactly the oracle's
+//! verdict; if any commit did write it, the cell is in the log suffix
+//! intersection and is re-checked. [`verify_and_commit`] remains the
+//! shared oracle — `EngineConfig::cross_check_commits` re-runs it on a
+//! cloned state for every decision and panics on divergence, which the
+//! differential test suite exercises at 1/2/4/8 workers.
 //!
 //! Reading a slightly stale snapshot can never corrupt state — recorded
-//! live-ins are checked against architected state at commit (the
-//! memoization test), so a stale read is a squash (a performance event),
-//! not a correctness event. Staleness is bounded by the epoch counter:
-//! workers abandon tasks from squashed epochs at entry, at every task
-//! boundary crossing, and every 64 instructions.
+//! live-ins are checked against architected state at commit, so a stale
+//! read is a squash (a performance event), not a correctness event.
+//! Staleness is bounded by the epoch counter: workers abandon tasks from
+//! squashed epochs at entry, at every task boundary crossing, and every
+//! 64 instructions.
 //!
 //! Wall-clock timing is nondeterministic, but the committed architected
 //! state is not: verification forces every interleaving to the sequential
 //! result, which the test suite asserts against [`crate::Engine`] and the
 //! sequential machine.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mssp_distill::Distilled;
 use mssp_isa::Program;
-use mssp_machine::{step, MachineState};
+use mssp_machine::{expand_mask, step, Cell, Delta, MachineState};
 
-use crate::chan::{channel, TryRecvError};
+use crate::chan::{channel, Receiver, Sender, TryRecvError};
 use crate::master::{Master, MasterStall};
 use crate::task::{BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId};
 use crate::{verify_and_commit, VerifyOutcome};
 use crate::{EngineConfig, EngineError, EngineStats, SquashReason};
+
+/// Commit-log length after which the coordinator materializes a fresh
+/// base snapshot instead of letting workers replay ever-longer chains.
+const MAX_PENDING_DELTAS: u64 = 32;
+
+/// Total cells across pending deltas after which a fresh base snapshot is
+/// materialized (bounds worker-side merge cost for write-heavy tasks).
+const MAX_PENDING_CELLS: usize = 1024;
+
+/// How a threaded run can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// The protocol itself failed — see [`EngineError`].
+    Engine(EngineError),
+    /// A worker or master thread died (panicked) mid-run.
+    WorkerDied,
+}
+
+impl From<EngineError> for ThreadedError {
+    fn from(e: EngineError) -> ThreadedError {
+        ThreadedError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadedError::Engine(e) => write!(f, "{e}"),
+            ThreadedError::WorkerDied => write!(f, "a worker thread died mid-run"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThreadedError::Engine(e) => Some(e),
+            ThreadedError::WorkerDied => None,
+        }
+    }
+}
 
 /// Result of a threaded MSSP run.
 #[derive(Debug)]
@@ -59,8 +131,12 @@ pub struct ThreadedRun {
 struct WorkItem {
     /// Epoch the task was spawned in; bumped on every squash.
     epoch: u64,
-    /// Checkpoint of architected state as of this task's spawn.
-    snapshot: Arc<MachineState>,
+    /// Last materialized base snapshot.
+    base: Arc<MachineState>,
+    /// Deltas committed after `base` was materialized, oldest first.
+    /// `base` + `pending` ≡ architected state as of the task's spawn
+    /// sequence number (which the coordinator tracks in `in_flight`).
+    pending: Vec<Arc<Delta>>,
     task: Task,
 }
 
@@ -68,25 +144,195 @@ struct WorkResult {
     epoch: u64,
     task: Task,
     end: TaskEnd,
+    /// Pre-verification outcome: live-in cells that did *not* match the
+    /// spawn-time view (`None` when the task overran or faulted, which
+    /// squashes before any live-in is consulted).
+    failed: Option<Vec<Cell>>,
 }
 
-/// Runs the MSSP protocol with `config.num_slaves` worker threads.
+/// Everything the coordinator can hear: worker results, master spawns,
+/// master stalls, and thread obituaries — one FIFO channel, so a master's
+/// spawns are processed in spawn order relative to its stall report.
+enum CoordMsg {
+    Result(WorkResult),
+    Spawn {
+        gen: u64,
+        id: u64,
+        start_pc: u64,
+        overlay: Vec<Arc<Delta>>,
+    },
+    MasterStalled {
+        gen: u64,
+    },
+    ThreadDied,
+}
+
+/// Coordinator → master control: restart after recovery, and commit
+/// notifications so the master can prune its live overlay segments.
+enum CtrlMsg {
+    Restart {
+        gen: u64,
+        pc: u64,
+        base: Box<MachineState>,
+    },
+    Committed {
+        gen: u64,
+        task_id: u64,
+    },
+}
+
+/// Notifies the coordinator if the owning thread unwinds, so it returns
+/// [`ThreadedError::WorkerDied`] instead of blocking forever on a result
+/// that will never arrive. Normal exits send nothing.
+struct DeadManSwitch {
+    tx: Sender<CoordMsg>,
+}
+
+impl Drop for DeadManSwitch {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(CoordMsg::ThreadDied);
+        }
+    }
+}
+
+/// The append-only commit log: a sliding window over the sequence of
+/// committed write deltas. `start` is the sequence number of the oldest
+/// retained entry; entries below it have been compacted away once no
+/// in-flight task or base snapshot could still need them.
+struct CommitLog {
+    deltas: VecDeque<Arc<Delta>>,
+    start: u64,
+}
+
+impl CommitLog {
+    fn new() -> CommitLog {
+        CommitLog {
+            deltas: VecDeque::new(),
+            start: 0,
+        }
+    }
+
+    /// Sequence number the *next* commit will get (= commits so far).
+    fn seq(&self) -> u64 {
+        self.start + self.deltas.len() as u64
+    }
+
+    fn push(&mut self, delta: Arc<Delta>) {
+        self.deltas.push_back(delta);
+    }
+
+    /// Entries committed at sequence `seq` or later.
+    fn suffix(&self, seq: u64) -> impl Iterator<Item = &Delta> + '_ {
+        let skip = seq.saturating_sub(self.start).min(self.deltas.len() as u64) as usize;
+        self.deltas.iter().skip(skip).map(|d| &**d)
+    }
+
+    /// Clones of the entries from `seq` on, oldest first — the pending
+    /// chain shipped with a spawn.
+    fn pending(&self, seq: u64) -> Vec<Arc<Delta>> {
+        let skip = seq.saturating_sub(self.start).min(self.deltas.len() as u64) as usize;
+        self.deltas.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drops entries below sequence `keep`.
+    fn compact(&mut self, keep: u64) {
+        while self.start < keep {
+            if self.deltas.pop_front().is_none() {
+                break;
+            }
+            self.start += 1;
+        }
+    }
+
+    /// Empties the window (squash/recovery: every retained delta is now
+    /// folded into the materialized base). Sequence numbers keep rising.
+    fn clear_window(&mut self) {
+        self.start += self.deltas.len() as u64;
+        self.deltas.clear();
+    }
+}
+
+/// The coordinator's conflict check: which live-in cells must be
+/// re-checked against architected state before trusting a pre-verify
+/// summary taken at sequence `seq`.
+///
+/// Always includes the worker-reported failures; adds every live-in
+/// intersecting a delta committed at or after `seq` (the summary could
+/// not have seen those commits, so it is stale for exactly those cells).
+/// An empty return means the summary alone decides the memoization test.
+fn cells_to_recheck(live_ins: &Delta, failed: &[Cell], log: &CommitLog, seq: u64) -> Vec<Cell> {
+    if failed.is_empty() && !log.suffix(seq).any(|d| live_ins.intersects(d)) {
+        return Vec::new();
+    }
+    let mut cells: Vec<Cell> = failed.to_vec();
+    for delta in log.suffix(seq) {
+        cells.extend(live_ins.intersecting_cells(delta));
+    }
+    cells.sort_unstable();
+    cells.dedup();
+    cells
+}
+
+/// Worker-side pre-verification: compares each recorded live-in against
+/// the view the task executed from (`view` = merged pending deltas over
+/// `base`), returning the cells whose bytes disagree.
+///
+/// Live-ins satisfied from the master's *prediction* overlay usually land
+/// here (the view has no reason to agree with a prediction) — that is
+/// conservative, not wasteful: the coordinator re-checks exactly those
+/// cells, which is the check the paper's verify unit performs anyway.
+fn pre_verify(live_ins: &Delta, view: Option<&Delta>, base: &MachineState) -> Vec<Cell> {
+    let mut failed = Vec::new();
+    for (cell, m) in live_ins.iter_masked() {
+        let mut out = 0u64;
+        let mut need = m.mask;
+        if let Some(p) = view.and_then(|v| v.get_masked(cell)) {
+            let take = need & p.mask;
+            out |= p.value & expand_mask(take);
+            need &= !take;
+        }
+        if need != 0 {
+            out |= base.read_cell(cell) & expand_mask(need);
+        }
+        if out != m.value {
+            failed.push(cell);
+        }
+    }
+    failed
+}
+
+/// Applies the accumulated commit batch as one superimposition and
+/// restores the logical PC. Safe to call redundantly.
+fn flush_batch(arch: &mut MachineState, batch: &mut Vec<Arc<Delta>>, virt_pc: u64) {
+    if !batch.is_empty() {
+        arch.apply_batch(batch.iter().map(|d| &**d));
+        batch.clear();
+    }
+    arch.set_pc(virt_pc);
+}
+
+/// Runs the MSSP protocol with `config.num_slaves` worker threads plus a
+/// dedicated master thread; the calling thread becomes the verify/commit
+/// coordinator.
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::RecoveryFault`] if the original program faults
-/// during non-speculative recovery (a malformed program), or
-/// [`EngineError::RecoveryLimit`] if a recovery segment exceeds its cap.
+/// Returns [`ThreadedError::Engine`] if the original program faults
+/// during non-speculative recovery or a recovery segment exceeds its cap,
+/// and [`ThreadedError::WorkerDied`] if a worker or master thread
+/// panics.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics.
-#[allow(clippy::too_many_lines)]
+/// Panics only when `config.cross_check_commits` detects the fast path
+/// diverging from the [`verify_and_commit`] oracle (a bug, not an input
+/// condition).
 pub fn run_threaded(
     original: &Program,
     distilled: &Distilled,
     config: EngineConfig,
-) -> Result<ThreadedRun, EngineError> {
+) -> Result<ThreadedRun, ThreadedError> {
     assert!(config.num_slaves > 0, "MSSP needs at least one slave");
     let start_time = std::time::Instant::now();
     let boundaries = Arc::new(BoundarySet::new(distilled.boundaries().clone()));
@@ -94,219 +340,594 @@ pub fn run_threaded(
     let current_epoch = Arc::new(AtomicU64::new(0));
 
     let (work_tx, work_rx) = channel::<WorkItem>();
-    let (result_tx, result_rx) = channel::<WorkResult>();
+    let (coord_tx, coord_rx) = channel::<CoordMsg>();
+    let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg>();
 
-    let mut stats = EngineStats::default();
-
-    std::thread::scope(|scope| -> Result<MachineState, EngineError> {
+    std::thread::scope(|scope| -> Result<ThreadedRun, ThreadedError> {
         // ---- workers ----
+        let mut workers = Vec::with_capacity(config.num_slaves);
         for _ in 0..config.num_slaves {
             let work_rx = work_rx.clone();
-            let result_tx = result_tx.clone();
+            let coord_tx = coord_tx.clone();
             let boundaries = Arc::clone(&boundaries);
             let current_epoch = Arc::clone(&current_epoch);
             let original = &*original;
             let max_task = config.max_task_instrs;
-            scope.spawn(move || {
-                let rules = SegmentRules {
-                    boundaries: &boundaries,
-                    crossings_per_task,
-                    max_instrs: max_task,
+            workers.push(scope.spawn(move || {
+                let _guard = DeadManSwitch {
+                    tx: coord_tx.clone(),
                 };
-                while let Ok(WorkItem {
-                    epoch,
-                    snapshot,
-                    mut task,
-                }) = work_rx.recv()
-                {
-                    // The entire segment executes against the spawn-time
-                    // checkpoint: no lock, no shared mutable state. The
-                    // closure polls the epoch so squashed work is dropped
-                    // at entry, at boundary crossings, and every 64
-                    // instructions.
-                    let end = task.run_segment(original, &snapshot, &rules, || {
-                        current_epoch.load(Ordering::Relaxed) != epoch
-                    });
-                    if result_tx.send(WorkResult { epoch, task, end }).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(result_tx); // coordinator keeps only the receiver
-        drop(work_rx); // workers keep the competitive-consumption clones
-
-        // ---- coordinator: master + in-order verify/commit ----
-        //
-        // The coordinator is the sole owner of architected state; workers
-        // only ever see the immutable snapshots it publishes.
-        let mut arch = MachineState::boot(original);
-        let mut snapshot = Arc::new(arch.clone());
-        let entry = arch.pc();
-        let mut master = Master::restart_at(distilled, entry, true, arch.clone());
-        let mut last_spawned: Option<u64> = None;
-        let mut next_id = 0u64;
-        let mut in_flight: std::collections::VecDeque<TaskId> = std::collections::VecDeque::new();
-        let mut done: std::collections::BTreeMap<u64, (Task, TaskEnd)> =
-            std::collections::BTreeMap::new();
-        let mut epoch = 0u64;
-        let mut halted = false;
-        let mut master_steps_since_spawn = 0u64;
-
-        'run: while !halted {
-            // 1. Drive the master while it has headroom.
-            let mut spawned_this_round = false;
-            for _ in 0..256 {
-                if master.status() != MasterStall::Active {
-                    break;
-                }
-                if master.pending_spawn().is_some() {
-                    if in_flight.len() >= config.num_slaves * 2 {
-                        break; // enough speculation outstanding
-                    }
-                    let (start, overlay) = master.take_spawn(last_spawned);
-                    let id = TaskId(next_id);
-                    next_id += 1;
-                    let task = Task::new(id, start, 0, overlay);
-                    stats.spawned_tasks += 1;
-                    in_flight.push_back(id);
-                    last_spawned = Some(id.0);
-                    master_steps_since_spawn = 0;
-                    work_tx
-                        .send(WorkItem {
-                            epoch,
-                            snapshot: Arc::clone(&snapshot),
-                            task,
-                        })
-                        .unwrap_or_else(|_| unreachable!("workers alive"));
-                    spawned_this_round = true;
-                    continue;
-                }
-                if master.step(distilled).is_some() {
-                    stats.master_instructions += 1;
-                    master_steps_since_spawn += 1;
-                    if master_steps_since_spawn > config.master_runahead {
-                        master.mark_lost();
-                    }
-                } else {
-                    break;
-                }
-            }
-
-            // 2. Collect results.
-            let blocked_on_result = in_flight
-                .front()
-                .is_some_and(|id| !done.contains_key(&id.0));
-            let mut received = false;
-            loop {
-                let msg = if blocked_on_result && !received && !spawned_this_round {
-                    // Nothing else to do: block for the oldest result.
-                    match result_rx.recv() {
-                        Ok(m) => m,
-                        Err(()) => break,
-                    }
-                } else {
-                    match result_rx.try_recv() {
-                        Ok(m) => m,
-                        Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-                    }
-                };
-                received = true;
-                if msg.epoch == epoch {
-                    done.insert(msg.task.id.0, (msg.task, msg.end));
-                }
-            }
-
-            // 3. Verify/commit in order (shared with the discrete engine).
-            while let Some(&oldest) = in_flight.front() {
-                let Some((task, end)) = done.remove(&oldest.0) else {
-                    break;
-                };
-                in_flight.pop_front();
-                match verify_and_commit(&mut arch, &task, end) {
-                    VerifyOutcome::Commit {
-                        end_pc: _,
-                        halted: h,
-                    } => {
-                        snapshot = Arc::new(arch.clone());
-                        stats.committed_tasks += 1;
-                        stats.committed_instructions += task.executed;
-                        stats.live_in_cells += task.live_ins.len() as u64;
-                        stats.live_out_cells += task.writes.len() as u64;
-                        master.on_commit(task.id.0);
-                        if h {
-                            break 'run;
-                        }
-                    }
-                    VerifyOutcome::Squash(reason) => {
-                        // Squash everything younger and run recovery.
-                        stats.squashed_tasks += 1 + in_flight.len() as u64;
-                        match reason {
-                            SquashReason::WrongPath => stats.squashes_wrong_path += 1,
-                            SquashReason::LiveInMismatch => stats.squashes_live_in += 1,
-                            SquashReason::Overrun => stats.squashes_overrun += 1,
-                            SquashReason::Fault => stats.squashes_fault += 1,
-                        }
-                        epoch += 1;
-                        current_epoch.store(epoch, Ordering::Relaxed);
-                        in_flight.clear();
-                        done.clear();
-                        let recovered = run_recovery(
-                            original,
-                            &boundaries,
-                            crossings_per_task,
-                            &mut arch,
-                            config.max_recovery_instrs,
-                        )?;
-                        stats.recovery_segments += 1;
-                        stats.recovery_instructions += recovered.0;
-                        stats.committed_instructions += recovered.0;
-                        snapshot = Arc::new(arch.clone());
-                        if recovered.1 {
-                            break 'run;
-                        }
-                        let pc = arch.pc();
-                        master = Master::restart_at(distilled, pc, true, arch.clone());
-                        last_spawned = None;
-                        master_steps_since_spawn = 0;
-                        break;
-                    }
-                }
-            }
-
-            // 4. Master starved (lost/halted with nothing in flight):
-            //    sequential recovery.
-            if !halted && in_flight.is_empty() && master.status() != MasterStall::Active {
-                let recovered = run_recovery(
+                worker_loop(
                     original,
                     &boundaries,
                     crossings_per_task,
-                    &mut arch,
-                    config.max_recovery_instrs,
-                )?;
-                stats.recovery_segments += 1;
-                stats.recovery_instructions += recovered.0;
-                stats.committed_instructions += recovered.0;
-                snapshot = Arc::new(arch.clone());
-                if recovered.1 {
-                    halted = true;
-                } else {
-                    let pc = arch.pc();
-                    master = Master::restart_at(distilled, pc, true, arch.clone());
+                    max_task,
+                    &current_epoch,
+                    &work_rx,
+                    &coord_tx,
+                );
+            }));
+        }
+
+        // ---- master ----
+        let master_handle = {
+            let coord_tx = coord_tx.clone();
+            let distilled = &*distilled;
+            let num_slaves = config.num_slaves;
+            let runahead = config.master_runahead;
+            scope.spawn(move || {
+                let _guard = DeadManSwitch {
+                    tx: coord_tx.clone(),
+                };
+                master_thread(distilled, num_slaves, runahead, &ctrl_rx, &coord_tx)
+            })
+        };
+        drop(coord_tx); // coordinator keeps only the receiver
+        drop(work_rx); // workers keep the competitive-consumption clones
+
+        // ---- coordinator: the in-order verify/commit unit ----
+        let mut stats = EngineStats::default();
+        let outcome = coordinate(
+            original,
+            &boundaries,
+            crossings_per_task,
+            &config,
+            &current_epoch,
+            &work_tx,
+            &coord_rx,
+            &ctrl_tx,
+            &mut stats,
+        );
+
+        // Shut down regardless of outcome: stragglers abandon at the next
+        // epoch poll, closed channels end both loops, and joining here
+        // consumes any panic so the scope does not re-raise it.
+        current_epoch.store(u64::MAX, Ordering::Relaxed);
+        drop(work_tx);
+        drop(ctrl_tx);
+        drop(coord_rx);
+        let mut thread_died = false;
+        for handle in workers {
+            if handle.join().is_err() {
+                thread_died = true;
+            }
+        }
+        match master_handle.join() {
+            Ok(instructions) => stats.master_instructions = instructions,
+            Err(_) => thread_died = true,
+        }
+        let state = outcome?;
+        if thread_died {
+            return Err(ThreadedError::WorkerDied);
+        }
+        Ok(ThreadedRun {
+            state,
+            stats,
+            elapsed: start_time.elapsed(),
+        })
+    })
+}
+
+/// Worker thread body: execute tasks against their spawn-time view, then
+/// pre-verify the recorded live-ins against that same view.
+fn worker_loop(
+    original: &Program,
+    boundaries: &BoundarySet,
+    crossings_per_task: u64,
+    max_instrs: u64,
+    current_epoch: &AtomicU64,
+    work_rx: &Receiver<WorkItem>,
+    coord_tx: &Sender<CoordMsg>,
+) {
+    let rules = SegmentRules {
+        boundaries,
+        crossings_per_task,
+        max_instrs,
+    };
+    while let Ok(WorkItem {
+        epoch,
+        base,
+        pending,
+        mut task,
+    }) = work_rx.recv()
+    {
+        // Fold the pending committed deltas into one overlay segment.
+        // It layers *below* the master's prediction segments (committed
+        // state is older than any prediction) and *above* the base
+        // snapshot, reproducing architected state as of `seq`.
+        let view: Option<Arc<Delta>> = match pending.as_slice() {
+            [] => None,
+            [one] => Some(Arc::clone(one)),
+            [first, rest @ ..] => {
+                let mut merged = (**first).clone();
+                for delta in rest {
+                    merged.superimpose_in_place(delta);
+                }
+                Some(Arc::new(merged))
+            }
+        };
+        if let Some(v) = &view {
+            task.overlay.push(Arc::clone(v));
+        }
+        // The hot loop: no lock, no shared mutable state. The closure
+        // polls the epoch so squashed work is dropped at entry, at
+        // boundary crossings, and every 64 instructions.
+        let end = task.run_segment(original, &base, &rules, || {
+            current_epoch.load(Ordering::Relaxed) != epoch
+        });
+        let failed = match end {
+            TaskEnd::Boundary(_) | TaskEnd::Halted(_) => {
+                Some(pre_verify(&task.live_ins, view.as_deref(), &base))
+            }
+            // Overruns/faults squash before live-ins are consulted.
+            TaskEnd::Overrun | TaskEnd::Fault => None,
+        };
+        // The coordinator never reads the overlay; drop it here to spare
+        // the commit path the refcount churn.
+        task.overlay = Vec::new();
+        let result = WorkResult {
+            epoch,
+            task,
+            end,
+            failed,
+        };
+        if coord_tx.send(CoordMsg::Result(result)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Master thread body: runs the distilled program and streams spawn
+/// predictions to the coordinator. Returns the total distilled
+/// instruction count across all restarts.
+///
+/// The master self-gates on its own `live_segment_count` (pruned by
+/// [`CtrlMsg::Committed`]), which tracks uncommitted spawned tasks — the
+/// same `2 × slaves` speculation window the discrete engine uses. When it
+/// cannot run (stalled, or window full) it parks on the control channel.
+fn master_thread(
+    distilled: &Distilled,
+    num_slaves: usize,
+    master_runahead: u64,
+    ctrl_rx: &Receiver<CtrlMsg>,
+    coord_tx: &Sender<CoordMsg>,
+) -> u64 {
+    let window = num_slaves * 2;
+    let mut total = 0u64;
+    let mut cur: Option<(u64, Master)> = None;
+    let mut last_spawned: Option<u64> = None;
+    let mut next_id = 0u64;
+    let mut steps_since_spawn = 0u64;
+    let mut stall_reported = false;
+    loop {
+        // Drain control; park when there is nothing to run. The stall
+        // report must precede every blocking wait: a master that restarts
+        // straight into Lost (unmapped PC) would otherwise never tell the
+        // coordinator, and both sides would block forever.
+        loop {
+            let runnable = cur.as_ref().is_some_and(|(_, m)| {
+                m.status() == MasterStall::Active
+                    && (m.pending_spawn().is_none() || m.live_segment_count() < window)
+            });
+            if !stall_reported {
+                if let Some((gen, m)) = cur.as_ref() {
+                    if m.status() != MasterStall::Active {
+                        if coord_tx
+                            .send(CoordMsg::MasterStalled { gen: *gen })
+                            .is_err()
+                        {
+                            return total;
+                        }
+                        stall_reported = true;
+                    }
+                }
+            }
+            let msg = if runnable {
+                match ctrl_rx.try_recv() {
+                    Ok(m) => m,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return total,
+                }
+            } else {
+                match ctrl_rx.recv() {
+                    Ok(m) => m,
+                    Err(()) => return total,
+                }
+            };
+            match msg {
+                CtrlMsg::Restart { gen, pc, base } => {
+                    cur = Some((gen, Master::restart_at(distilled, pc, true, *base)));
                     last_spawned = None;
-                    master_steps_since_spawn = 0;
+                    steps_since_spawn = 0;
+                    stall_reported = false;
+                }
+                CtrlMsg::Committed { gen, task_id } => {
+                    if let Some((g, m)) = cur.as_mut() {
+                        if *g == gen {
+                            m.on_commit(task_id);
+                        }
+                    }
                 }
             }
         }
 
-        drop(work_tx); // workers drain and exit
-        Ok(arch)
-    })
-    .map(|state| ThreadedRun {
-        state,
-        stats,
-        elapsed: start_time.elapsed(),
-    })
+        // Run a slice, then loop back to drain control again.
+        let Some((gen, master)) = cur.as_mut() else {
+            continue;
+        };
+        for _ in 0..128 {
+            if master.status() != MasterStall::Active {
+                break;
+            }
+            if master.pending_spawn().is_some() {
+                if master.live_segment_count() >= window {
+                    break; // enough speculation outstanding
+                }
+                let (start_pc, overlay) = master.take_spawn(last_spawned);
+                let id = next_id;
+                next_id += 1;
+                last_spawned = Some(id);
+                steps_since_spawn = 0;
+                let spawn = CoordMsg::Spawn {
+                    gen: *gen,
+                    id,
+                    start_pc,
+                    overlay,
+                };
+                if coord_tx.send(spawn).is_err() {
+                    return total;
+                }
+                continue;
+            }
+            if master.step(distilled).is_some() {
+                total += 1;
+                steps_since_spawn += 1;
+                if steps_since_spawn > master_runahead {
+                    master.mark_lost();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The verify/commit coordinator: owns architected state, dispatches
+/// spawns to workers, and commits results in order doing O(write-set)
+/// work per task.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn coordinate(
+    original: &Program,
+    boundaries: &BoundarySet,
+    crossings_per_task: u64,
+    config: &EngineConfig,
+    current_epoch: &AtomicU64,
+    work_tx: &Sender<WorkItem>,
+    coord_rx: &Receiver<CoordMsg>,
+    ctrl_tx: &Sender<CtrlMsg>,
+    stats: &mut EngineStats,
+) -> Result<MachineState, ThreadedError> {
+    let mut arch = MachineState::boot(original);
+    // The logical architected PC: `arch` itself may lag behind by the
+    // unapplied commit batch, but `virt_pc` never does, so the wrong-path
+    // check needs no flush.
+    let mut virt_pc = arch.pc();
+    let mut base = Arc::new(arch.clone());
+    let mut base_seq = 0u64;
+    stats.snapshots_materialized += 1;
+    let mut log = CommitLog::new();
+    let mut pending_cells = 0usize;
+    let mut batch: Vec<Arc<Delta>> = Vec::new();
+    let mut epoch = 0u64;
+    // (task id, spawn sequence number), in spawn = commit order.
+    let mut in_flight: VecDeque<(u64, u64)> = VecDeque::new();
+    let mut done: BTreeMap<u64, WorkResult> = BTreeMap::new();
+    let mut master_stalled = false;
+    let mut halted = false;
+
+    let boot_restart = CtrlMsg::Restart {
+        gen: epoch,
+        pc: virt_pc,
+        base: Box::new(arch.clone()),
+    };
+    if ctrl_tx.send(boot_restart).is_err() {
+        return Err(ThreadedError::WorkerDied);
+    }
+
+    while !halted {
+        // 1. Receive spawns, results, and master status. Block only when
+        //    there is nothing to commit and no starvation to handle —
+        //    in both remaining cases a message is guaranteed to arrive
+        //    (an in-flight result, a spawn, a stall report, or a thread
+        //    obituary).
+        let mut received = false;
+        loop {
+            let oldest_ready = in_flight
+                .front()
+                .is_some_and(|&(id, _)| done.contains_key(&id));
+            let starved = in_flight.is_empty() && master_stalled;
+            let msg = if oldest_ready || starved || received {
+                match coord_rx.try_recv() {
+                    Ok(m) => m,
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            } else {
+                match coord_rx.recv() {
+                    Ok(m) => m,
+                    Err(()) => return Err(ThreadedError::WorkerDied),
+                }
+            };
+            received = true;
+            match msg {
+                CoordMsg::Result(r) => {
+                    if r.epoch == epoch {
+                        done.insert(r.task.id.0, r);
+                    }
+                }
+                CoordMsg::Spawn {
+                    gen,
+                    id,
+                    start_pc,
+                    overlay,
+                } => {
+                    if gen != epoch {
+                        continue; // pre-squash prediction; already dead
+                    }
+                    let seq = log.seq();
+                    stats.spawned_tasks += 1;
+                    in_flight.push_back((id, seq));
+                    let item = WorkItem {
+                        epoch,
+                        base: Arc::clone(&base),
+                        pending: log.pending(base_seq),
+                        task: Task::new(TaskId(id), start_pc, 0, overlay),
+                    };
+                    if work_tx.send(item).is_err() {
+                        return Err(ThreadedError::WorkerDied);
+                    }
+                }
+                CoordMsg::MasterStalled { gen } => {
+                    if gen == epoch {
+                        master_stalled = true;
+                    }
+                }
+                CoordMsg::ThreadDied => return Err(ThreadedError::WorkerDied),
+            }
+        }
+
+        // 2. Verify/commit in order.
+        'commit: while let Some(&(oldest_id, task_seq)) = in_flight.front() {
+            let Some(result) = done.remove(&oldest_id) else {
+                break;
+            };
+            in_flight.pop_front();
+            let WorkResult {
+                task, end, failed, ..
+            } = result;
+
+            // The fast-path verdict: O(write-set) work, same precedence
+            // as the oracle (wrong path, then overrun/fault, then the
+            // memoization test over exactly the stale/failed cells).
+            let verdict = 'verdict: {
+                if task.start_pc != virt_pc {
+                    break 'verdict VerifyOutcome::Squash(SquashReason::WrongPath);
+                }
+                let (end_pc, is_halt) = match end {
+                    TaskEnd::Overrun => {
+                        break 'verdict VerifyOutcome::Squash(SquashReason::Overrun)
+                    }
+                    TaskEnd::Fault => break 'verdict VerifyOutcome::Squash(SquashReason::Fault),
+                    TaskEnd::Boundary(pc) => (pc, false),
+                    TaskEnd::Halted(pc) => (pc, true),
+                };
+                let recheck = match &failed {
+                    Some(f) => cells_to_recheck(&task.live_ins, f, &log, task_seq),
+                    // No summary shipped (defensive: cannot happen for a
+                    // boundary/halt end) — re-check everything.
+                    None => task.live_ins.iter_masked().map(|(c, _)| c).collect(),
+                };
+                stats.live_ins_rechecked += recheck.len() as u64;
+                stats.live_ins_skipped +=
+                    (task.live_ins.len() as u64).saturating_sub(recheck.len() as u64);
+                if recheck.is_empty() {
+                    stats.pre_verified_tasks += 1;
+                } else {
+                    flush_batch(&mut arch, &mut batch, virt_pc);
+                    for &cell in &recheck {
+                        let Some(m) = task.live_ins.get_masked(cell) else {
+                            continue; // a failed cell later overwritten? impossible, but harmless
+                        };
+                        if arch.read_cell(cell) & expand_mask(m.mask) != m.value {
+                            break 'verdict VerifyOutcome::Squash(SquashReason::LiveInMismatch);
+                        }
+                    }
+                }
+                VerifyOutcome::Commit {
+                    end_pc,
+                    halted: is_halt,
+                }
+            };
+
+            // Differential-testing mode: replay the decision through the
+            // shared oracle on a clone and demand bit-identical results.
+            let oracle = if config.cross_check_commits {
+                flush_batch(&mut arch, &mut batch, virt_pc);
+                let mut shadow = arch.clone();
+                let oracle_verdict = verify_and_commit(&mut shadow, &task, end);
+                assert_eq!(
+                    verdict, oracle_verdict,
+                    "threaded fast path diverged from verify_and_commit oracle on task {}",
+                    task.id.0
+                );
+                Some(shadow)
+            } else {
+                None
+            };
+
+            match verdict {
+                VerifyOutcome::Commit { end_pc, halted: h } => {
+                    stats.committed_tasks += 1;
+                    stats.committed_instructions += task.executed;
+                    stats.live_in_cells += task.live_ins.len() as u64;
+                    stats.live_out_cells += task.writes.len() as u64;
+                    let task_id = task.id.0;
+                    let writes = Arc::new(task.writes);
+                    pending_cells += writes.len();
+                    log.push(Arc::clone(&writes));
+                    batch.push(writes);
+                    virt_pc = end_pc;
+                    if let Some(shadow) = &oracle {
+                        flush_batch(&mut arch, &mut batch, virt_pc);
+                        assert_eq!(
+                            &arch, shadow,
+                            "threaded fast path committed state diverged from oracle"
+                        );
+                    }
+                    if ctrl_tx
+                        .send(CtrlMsg::Committed {
+                            gen: epoch,
+                            task_id,
+                        })
+                        .is_err()
+                    {
+                        return Err(ThreadedError::WorkerDied);
+                    }
+                    if log.seq() - base_seq >= MAX_PENDING_DELTAS
+                        || pending_cells >= MAX_PENDING_CELLS
+                    {
+                        flush_batch(&mut arch, &mut batch, virt_pc);
+                        base = Arc::new(arch.clone());
+                        base_seq = log.seq();
+                        pending_cells = 0;
+                        stats.snapshots_materialized += 1;
+                    } else {
+                        stats.deltas_published += 1;
+                    }
+                    if h {
+                        halted = true;
+                        break 'commit;
+                    }
+                }
+                VerifyOutcome::Squash(reason) => {
+                    // Squash everything younger and run recovery.
+                    flush_batch(&mut arch, &mut batch, virt_pc);
+                    stats.squashed_tasks += 1 + in_flight.len() as u64;
+                    match reason {
+                        SquashReason::WrongPath => stats.squashes_wrong_path += 1,
+                        SquashReason::LiveInMismatch => stats.squashes_live_in += 1,
+                        SquashReason::Overrun => stats.squashes_overrun += 1,
+                        SquashReason::Fault => stats.squashes_fault += 1,
+                    }
+                    epoch += 1;
+                    current_epoch.store(epoch, Ordering::Relaxed);
+                    in_flight.clear();
+                    done.clear();
+                    master_stalled = false;
+                    let recovered = run_recovery(
+                        original,
+                        boundaries,
+                        crossings_per_task,
+                        &mut arch,
+                        config.max_recovery_instrs,
+                    )?;
+                    stats.recovery_segments += 1;
+                    stats.recovery_instructions += recovered.0;
+                    stats.committed_instructions += recovered.0;
+                    log.clear_window();
+                    base = Arc::new(arch.clone());
+                    base_seq = log.seq();
+                    pending_cells = 0;
+                    stats.snapshots_materialized += 1;
+                    virt_pc = arch.pc();
+                    if recovered.1 {
+                        halted = true;
+                    } else {
+                        let restart = CtrlMsg::Restart {
+                            gen: epoch,
+                            pc: virt_pc,
+                            base: Box::new(arch.clone()),
+                        };
+                        if ctrl_tx.send(restart).is_err() {
+                            return Err(ThreadedError::WorkerDied);
+                        }
+                    }
+                    break 'commit;
+                }
+            }
+        }
+
+        // 3. Master starved (lost/halted with nothing in flight):
+        //    sequential recovery, then reseed the master.
+        if !halted && in_flight.is_empty() && master_stalled {
+            flush_batch(&mut arch, &mut batch, virt_pc);
+            let recovered = run_recovery(
+                original,
+                boundaries,
+                crossings_per_task,
+                &mut arch,
+                config.max_recovery_instrs,
+            )?;
+            stats.recovery_segments += 1;
+            stats.recovery_instructions += recovered.0;
+            stats.committed_instructions += recovered.0;
+            // Fresh generation: stale spawns/stalls from the old master
+            // must not leak into the reseeded run.
+            epoch += 1;
+            current_epoch.store(epoch, Ordering::Relaxed);
+            master_stalled = false;
+            done.clear();
+            log.clear_window();
+            base = Arc::new(arch.clone());
+            base_seq = log.seq();
+            pending_cells = 0;
+            stats.snapshots_materialized += 1;
+            virt_pc = arch.pc();
+            if recovered.1 {
+                halted = true;
+            } else {
+                let restart = CtrlMsg::Restart {
+                    gen: epoch,
+                    pc: virt_pc,
+                    base: Box::new(arch.clone()),
+                };
+                if ctrl_tx.send(restart).is_err() {
+                    return Err(ThreadedError::WorkerDied);
+                }
+            }
+        }
+
+        // 4. Compact the commit log: keep entries any in-flight task's
+        //    conflict check or any future spawn's pending chain could
+        //    still reference.
+        let keep = in_flight
+            .front()
+            .map_or_else(|| log.seq(), |&(_, seq)| seq)
+            .min(base_seq);
+        log.compact(keep);
+    }
+
+    flush_batch(&mut arch, &mut batch, virt_pc);
+    Ok(arch)
 }
 
 /// Executes one non-speculative segment from the architected PC to the
@@ -377,6 +998,10 @@ mod tests {
         (p, d)
     }
 
+    fn delta(pairs: &[(Cell, u64)]) -> Arc<Delta> {
+        Arc::new(pairs.iter().copied().collect())
+    }
+
     #[test]
     fn threaded_matches_sequential() {
         let (p, d) = fixture();
@@ -408,5 +1033,126 @@ mod tests {
         let b = run_threaded(&p, &d, cfg).unwrap();
         // Wall-clock and task counts may differ; committed state may not.
         assert_eq!(a.state.reg(Reg::S1), b.state.reg(Reg::S1));
+    }
+
+    #[test]
+    fn cross_check_mode_agrees_with_oracle_end_to_end() {
+        let (p, d) = fixture();
+        let cfg = EngineConfig {
+            num_slaves: 2,
+            cross_check_commits: true,
+            ..EngineConfig::default()
+        };
+        let run = run_threaded(&p, &d, cfg).unwrap();
+        let mut seq = SeqMachine::boot(&p);
+        seq.run(u64::MAX).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+    }
+
+    #[test]
+    fn fast_path_skips_live_ins_and_publishes_deltas() {
+        let (p, d) = fixture();
+        let run = run_threaded(&p, &d, EngineConfig::default()).unwrap();
+        // Live-ins resolved from the unchanging base (e.g. SP) are proven
+        // by pre-verification and never re-checked.
+        assert!(run.stats.live_ins_skipped > 0, "{:?}", run.stats);
+        // Most commits ride the log; snapshots only at thresholds.
+        assert!(run.stats.deltas_published > 0, "{:?}", run.stats);
+        assert!(
+            run.stats.snapshots_materialized < run.stats.committed_tasks,
+            "{:?}",
+            run.stats
+        );
+        assert!(run.stats.recheck_ratio() < 1.0, "{:?}", run.stats);
+    }
+
+    #[test]
+    fn commit_log_is_a_sliding_window_with_monotonic_seq() {
+        let mut log = CommitLog::new();
+        assert_eq!(log.seq(), 0);
+        log.push(delta(&[(Cell::Mem(0), 1)]));
+        log.push(delta(&[(Cell::Mem(1), 2)]));
+        log.push(delta(&[(Cell::Mem(2), 3)]));
+        assert_eq!(log.seq(), 3);
+        assert_eq!(log.suffix(1).count(), 2);
+        assert_eq!(log.pending(0).len(), 3);
+        log.compact(2);
+        assert_eq!(log.seq(), 3); // seq unaffected by compaction
+        assert_eq!(log.suffix(0).count(), 1); // clamped to the window
+        assert_eq!(log.pending(2).len(), 1);
+        log.clear_window();
+        assert_eq!(log.seq(), 3);
+        assert_eq!(log.suffix(0).count(), 0);
+    }
+
+    #[test]
+    fn stale_preverify_summary_is_rechecked_never_trusted() {
+        // A task pre-verified at sequence 0; afterwards a commit wrote
+        // one of its live-in cells. The clean summary must not be
+        // trusted for that cell.
+        let live_ins: Delta = [(Cell::Mem(1), 5), (Cell::Reg(Reg::A0), 2)]
+            .into_iter()
+            .collect();
+        let mut log = CommitLog::new();
+        log.push(delta(&[(Cell::Mem(1), 9)])); // conflicting commit, seq 0
+        assert_eq!(
+            cells_to_recheck(&live_ins, &[], &log, 0),
+            vec![Cell::Mem(1)],
+            "summary older than a conflicting commit must be re-checked"
+        );
+        // A summary taken *after* that commit saw it: nothing to re-check.
+        assert!(cells_to_recheck(&live_ins, &[], &log, 1).is_empty());
+        // Worker-reported failures are re-checked regardless of staleness.
+        assert_eq!(
+            cells_to_recheck(&live_ins, &[Cell::Reg(Reg::A0)], &log, 1),
+            vec![Cell::Reg(Reg::A0)]
+        );
+        // Both sources merge, sorted and deduplicated.
+        let both = cells_to_recheck(&live_ins, &[Cell::Mem(1), Cell::Reg(Reg::A0)], &log, 0);
+        assert_eq!(both, vec![Cell::Reg(Reg::A0), Cell::Mem(1)]);
+    }
+
+    #[test]
+    fn pre_verify_resolves_view_over_base() {
+        let mut base = MachineState::new();
+        base.store_word(1, 10);
+        base.store_word(2, 20);
+        let view: Delta = [(Cell::Mem(2), 22)].into_iter().collect();
+        // Live-ins matching view-over-base pass.
+        let ok: Delta = [(Cell::Mem(1), 10), (Cell::Mem(2), 22)]
+            .into_iter()
+            .collect();
+        assert!(pre_verify(&ok, Some(&view), &base).is_empty());
+        // A live-in holding the *base* value of a view-overridden cell
+        // fails: the task could not have read 20 from this view.
+        let stale: Delta = [(Cell::Mem(2), 20)].into_iter().collect();
+        assert_eq!(pre_verify(&stale, Some(&view), &base), vec![Cell::Mem(2)]);
+        assert!(pre_verify(&stale, None, &base).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_worker_died() {
+        let (tx, rx) = channel::<CoordMsg>();
+        std::thread::spawn(move || {
+            let _guard = DeadManSwitch { tx };
+            panic!("worker exploded");
+        })
+        .join()
+        .unwrap_err();
+        match rx.recv() {
+            Ok(CoordMsg::ThreadDied) => {}
+            _ => panic!("expected a ThreadDied obituary"),
+        }
+    }
+
+    #[test]
+    fn threaded_error_formats_and_converts() {
+        let e: ThreadedError = EngineError::RecoveryLimit.into();
+        assert_eq!(e, ThreadedError::Engine(EngineError::RecoveryLimit));
+        assert!(e.to_string().contains("recovery"));
+        assert!(ThreadedError::WorkerDied.to_string().contains("worker"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(ThreadedError::WorkerDied.source().is_none());
     }
 }

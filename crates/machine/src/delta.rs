@@ -288,16 +288,51 @@ impl Delta {
     /// bound bytes.
     #[must_use]
     pub fn mismatches_against(&self, state: &MachineState) -> Vec<(Cell, u64, u64)> {
-        self.iter_masked()
-            .filter_map(|(c, m)| {
-                let actual = state.read_cell(c) & expand_mask(m.mask);
-                if actual == m.value {
-                    None
-                } else {
-                    Some((c, m.value, actual))
-                }
-            })
-            .collect()
+        self.mismatches_iter(state).collect()
+    }
+
+    /// The first bound cell disagreeing with `state`, or `None` if the
+    /// delta is consistent. Unlike [`Delta::mismatches_against`] this
+    /// allocates nothing and stops at the first disagreement — it is the
+    /// right shape for verify-path squash diagnostics, where only one
+    /// offending cell needs naming.
+    #[must_use]
+    pub fn first_mismatch_against(&self, state: &MachineState) -> Option<(Cell, u64, u64)> {
+        self.mismatches_iter(state).next()
+    }
+
+    fn mismatches_iter<'a>(
+        &'a self,
+        state: &'a MachineState,
+    ) -> impl Iterator<Item = (Cell, u64, u64)> + 'a {
+        self.iter_masked().filter_map(move |(c, m)| {
+            let actual = state.read_cell(c) & expand_mask(m.mask);
+            (actual != m.value).then_some((c, m.value, actual))
+        })
+    }
+
+    /// Whether any cell bound in `self` is also bound in `other` — the
+    /// commit-path conflict test. Probes the smaller set's sorted keys
+    /// into the larger, so the common disjoint case costs
+    /// O(min·log max) with no allocation.
+    #[must_use]
+    pub fn intersects(&self, other: &Delta) -> bool {
+        let (probe, index) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        probe.cells.keys().any(|c| index.cells.contains_key(c))
+    }
+
+    /// The cells bound in both `self` and `other`, in `self`'s cell
+    /// order. Byte masks are deliberately ignored: for conflict detection
+    /// a cell-granular answer is conservative and cheap.
+    pub fn intersecting_cells<'a>(&'a self, other: &'a Delta) -> impl Iterator<Item = Cell> + 'a {
+        self.cells
+            .keys()
+            .copied()
+            .filter(|c| other.cells.contains_key(c))
     }
 }
 
@@ -410,6 +445,52 @@ mod tests {
         let probe = d(&[(Cell::Reg(Reg::A0), 6), (Cell::Reg(Reg::A1), 0)]);
         let mm = probe.mismatches_against(&state);
         assert_eq!(mm, vec![(Cell::Reg(Reg::A0), 6, 5)]);
+    }
+
+    #[test]
+    fn first_mismatch_matches_full_report() {
+        let mut state = MachineState::new();
+        state.set_reg(Reg::A0, 5);
+        state.store_word(7, 70);
+        let probe = d(&[
+            (Cell::Reg(Reg::A0), 6),
+            (Cell::Reg(Reg::A1), 0),
+            (Cell::Mem(7), 71),
+        ]);
+        let all = probe.mismatches_against(&state);
+        assert_eq!(all.len(), 2);
+        assert_eq!(probe.first_mismatch_against(&state), Some(all[0]));
+        let consistent = d(&[(Cell::Reg(Reg::A1), 0)]);
+        assert_eq!(consistent.first_mismatch_against(&state), None);
+        assert!(consistent.mismatches_against(&state).is_empty());
+    }
+
+    #[test]
+    fn intersects_is_cell_granular_and_symmetric() {
+        let a = d(&[(Cell::Mem(0), 1), (Cell::Reg(Reg::A0), 2)]);
+        let b = d(&[(Cell::Mem(0), 9), (Cell::Mem(5), 3)]);
+        let c = d(&[(Cell::Mem(1), 4), (Cell::Pc, 5)]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+        assert!(!a.intersects(&Delta::new()));
+        assert!(!Delta::new().intersects(&a));
+        // Different byte masks on the same cell still intersect.
+        let mut lo = Delta::new();
+        lo.set_bytes(Cell::Mem(8), 0x11, 0x01);
+        let mut hi = Delta::new();
+        hi.set_bytes(Cell::Mem(8), 0x2200, 0x02);
+        assert!(lo.intersects(&hi));
+    }
+
+    #[test]
+    fn intersecting_cells_lists_common_cells_in_order() {
+        let a = d(&[(Cell::Mem(0), 1), (Cell::Mem(2), 2), (Cell::Pc, 3)]);
+        let b = d(&[(Cell::Mem(2), 9), (Cell::Pc, 8), (Cell::Mem(9), 7)]);
+        let common: Vec<Cell> = a.intersecting_cells(&b).collect();
+        assert_eq!(common, vec![Cell::Pc, Cell::Mem(2)]);
+        assert_eq!(a.intersecting_cells(&Delta::new()).count(), 0);
     }
 
     #[test]

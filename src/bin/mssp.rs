@@ -4,7 +4,11 @@
 //! ```text
 //! mssp workloads                         list bundled benchmarks
 //! mssp asm <file.s>                      assemble + disassemble a source file
-//! mssp run <file.s|workload> [scale]     sequential execution
+//! mssp run <file.s|workload> [scale] [--stats]
+//!                                        sequential execution
+//!                                        (--stats: also run the threaded
+//!                                        executor and report the O(delta)
+//!                                        verify/commit counters)
 //! mssp profile <file.s|workload>         dynamic profile summary
 //! mssp distill <file.s|workload> [--stats]
 //!                                        show distillation at all levels
@@ -26,7 +30,9 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("workloads") => cmd_workloads(),
         Some("asm") => with_arg(&args, cmd_asm),
-        Some("run") => with_arg(&args, |t| cmd_run(t, scale_arg(&args))),
+        Some("run") => with_arg(&args, |t| {
+            cmd_run(t, scale_arg(&args), args.iter().any(|a| a == "--stats"))
+        }),
         Some("profile") => with_arg(&args, cmd_profile),
         Some("distill") => with_arg(&args, |t| {
             cmd_distill(t, args.iter().any(|a| a == "--stats"))
@@ -35,7 +41,7 @@ fn main() -> ExitCode {
         Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
         _ => {
             eprintln!(
-                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n|--json|--stats]\n\
+                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n] [--json|--stats]\n\
                  target: an .s file or a bundled workload name (`lint` also accepts `all`)"
             );
             return ExitCode::FAILURE;
@@ -103,13 +109,48 @@ fn cmd_asm(target: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(target: &str, scale: Option<u64>) -> Result<(), String> {
+fn cmd_run(target: &str, scale: Option<u64>, stats: bool) -> Result<(), String> {
     let p = load(target, scale)?;
     let mut m = SeqMachine::boot(&p);
     let summary = m.run(u64::MAX).map_err(|e| e.to_string())?;
     println!("instructions: {}", summary.instructions);
     println!("checksum(s1): {:#x}", m.state().reg(Reg::S1));
     println!("final pc:     {:#x}", m.state().pc());
+    if stats {
+        // Re-run under the threaded executor and report the O(delta)
+        // verify/commit counters: how much of the memoization test the
+        // coordinator actually performed, and how architected snapshots
+        // were published to workers.
+        let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
+        let d = distill(&p, &prof, &DistillConfig::default()).map_err(|e| e.to_string())?;
+        let run = run_threaded(&p, &d, EngineConfig::default()).map_err(|e| e.to_string())?;
+        if run.state.reg(Reg::S1) != m.state().reg(Reg::S1) {
+            return Err("threaded checksum mismatch — correctness bug".into());
+        }
+        let s = &run.stats;
+        println!("threaded verify/commit ({:?} wall-clock):", run.elapsed);
+        println!(
+            "  tasks: {} spawned, {} committed, {} pre-verified ({:.1}%)",
+            s.spawned_tasks,
+            s.committed_tasks,
+            s.pre_verified_tasks,
+            if s.committed_tasks == 0 {
+                0.0
+            } else {
+                100.0 * s.pre_verified_tasks as f64 / s.committed_tasks as f64
+            }
+        );
+        println!(
+            "  live-ins: {} re-checked, {} skipped (re-check ratio {:.3})",
+            s.live_ins_rechecked,
+            s.live_ins_skipped,
+            s.recheck_ratio()
+        );
+        println!(
+            "  snapshots: {} materialized, {} incremental deltas published",
+            s.snapshots_materialized, s.deltas_published
+        );
+    }
     Ok(())
 }
 

@@ -118,3 +118,122 @@ fn threaded_survives_wrong_asserted_branches() {
         );
     });
 }
+
+#[test]
+fn fast_path_matches_engine_on_squash_heavy_wrong_branch_fuzz() {
+    // Differential test for the O(delta) commit pipeline: on adversarial
+    // distillations whose overlay predictions are wrong roughly half the
+    // time (squash-heavy by construction), the threaded fast path must
+    // agree with the discrete `Engine` on final state, committed
+    // instruction count, and the squash-reason histogram at 1/2/4/8
+    // workers. `cross_check_commits` additionally replays every single
+    // verify/commit decision through the shared `verify_and_commit`
+    // oracle *in-run* and panics on any divergence in verdict or
+    // committed state — the per-decision guarantee the end-of-run
+    // comparison cannot give.
+    check(0x7EAD_0003, 6, |rng| {
+        let iters = 100 + 37 * rng.gen_index(0, 12) as u64;
+        let src = format!(
+            "main:  addi s0, zero, {iters}
+             loop:  andi t0, s0, 1
+                    beqz t0, even
+                    addi s1, s1, 3
+                    j    next
+             even:  addi s1, s1, 7
+             next:  sd   s1, -16(sp)
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    halt"
+        );
+        let program = assemble(&src).expect("fixture assembles");
+        let mut seq = SeqMachine::boot(&program);
+        seq.run(u64::MAX).unwrap();
+
+        // The master asserts the odd arm unconditionally: its predicted
+        // s1 evolution is wrong whenever the original takes the even arm.
+        let wrong = assemble(&format!(
+            "main:  addi s0, zero, {iters}
+             loop:  addi s1, s1, 3
+                    addi s0, s0, -1
+                    j    loop"
+        ))
+        .unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(program.entry(), wrong.entry());
+        map.insert(
+            program.symbol("loop").unwrap(),
+            wrong.symbol("loop").unwrap(),
+        );
+        let d = Distilled::from_parts(
+            wrong,
+            BTreeSet::from([program.symbol("loop").unwrap()]),
+            map,
+        );
+        let stack_widx = (seq.state().reg(Reg::SP) - 16) >> 3;
+
+        for slaves in [1usize, 2, 4, 8] {
+            let reference = Engine::new(
+                &program,
+                &d,
+                EngineConfig {
+                    num_slaves: slaves,
+                    ..EngineConfig::default()
+                },
+                UnitCost,
+            )
+            .run()
+            .expect("engine terminates");
+            let ref_hist = [
+                reference.stats.squashes_wrong_path,
+                reference.stats.squashes_live_in,
+                reference.stats.squashes_overrun,
+                reference.stats.squashes_fault,
+            ];
+            assert!(
+                ref_hist.iter().sum::<u64>() > 0,
+                "fixture must be squash-heavy ({iters} iters, {slaves} workers)"
+            );
+
+            let cfg = EngineConfig {
+                num_slaves: slaves,
+                cross_check_commits: true,
+                ..EngineConfig::default()
+            };
+            let run = run_threaded(&program, &d, cfg).expect("terminates");
+
+            // Identical final state: threaded == engine == sequential.
+            assert_eq!(run.state.reg(Reg::S0), seq.state().reg(Reg::S0));
+            assert_eq!(
+                run.state.reg(Reg::S1),
+                seq.state().reg(Reg::S1),
+                "{slaves} workers, {iters} iters"
+            );
+            assert_eq!(run.state.pc(), seq.state().pc());
+            assert_eq!(
+                run.state.load_word(stack_widx),
+                seq.state().load_word(stack_widx)
+            );
+            assert_eq!(run.state.reg(Reg::S1), reference.state.reg(Reg::S1));
+
+            // Identical commit counts, in instruction terms: every
+            // committed instruction is exactly one sequential instruction
+            // in both executors.
+            assert_eq!(run.stats.committed_instructions, seq.instructions());
+            assert_eq!(
+                run.stats.committed_instructions,
+                reference.stats.committed_instructions
+            );
+
+            // Identical squash-reason histograms: the commit/squash
+            // alternation is forced by architected state, which both
+            // executors walk identically.
+            let hist = [
+                run.stats.squashes_wrong_path,
+                run.stats.squashes_live_in,
+                run.stats.squashes_overrun,
+                run.stats.squashes_fault,
+            ];
+            assert_eq!(hist, ref_hist, "{slaves} workers, {iters} iters");
+        }
+    });
+}
