@@ -1,12 +1,15 @@
 //! A small std-only MPMC channel (`Mutex<VecDeque>` + `Condvar`).
 //!
-//! The threaded executor needs exactly two queues: coordinator → workers
-//! (work items, competitively consumed) and workers → coordinator
-//! (results). The container this repository builds in has no crate
-//! registry, so instead of `crossbeam` we use this ~100-line channel with
-//! the same close semantics: `recv` drains remaining messages after all
-//! senders drop, then reports disconnection; `send` fails once every
-//! receiver is gone.
+//! This was the threaded executor's only queue before the lock-free
+//! rings in [`crate::ring`] took over the task/result hot path; it
+//! remains the general-purpose fallback for low-rate, many-to-many
+//! control traffic (the rings are strictly single-consumer), and the
+//! mutex baseline that `bench_contention` measures the rings against.
+//! The container this repository builds in has no crate registry, so
+//! instead of `crossbeam` we use this ~100-line channel with the same
+//! close semantics: `recv` drains remaining messages after all senders
+//! drop, then reports disconnection; `send` fails once every receiver
+//! is gone.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -23,19 +26,24 @@ struct Shared<T> {
 }
 
 /// The sending half; clone freely across threads.
-pub(crate) struct Sender<T> {
+pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
 
 /// The receiving half; clone freely across threads (each message is
 /// delivered to exactly one receiver).
-pub(crate) struct Receiver<T> {
+pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
+/// A blocking receive failed: every sender was dropped and the queue
+/// has been fully drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
 /// Why a non-blocking receive returned nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum TryRecvError {
+pub enum TryRecvError {
     /// The queue is momentarily empty but senders remain.
     Empty,
     /// The queue is empty and every sender has been dropped.
@@ -43,7 +51,8 @@ pub(crate) enum TryRecvError {
 }
 
 /// Creates a connected channel pair.
-pub(crate) fn channel<T>() -> (Sender<T>, Receiver<T>) {
+#[must_use]
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
             queue: VecDeque::new(),
@@ -63,7 +72,11 @@ pub(crate) fn channel<T>() -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Enqueues `value`; returns it back as `Err` if every receiver is
     /// gone (the message would never be seen).
-    pub(crate) fn send(&self, value: T) -> Result<(), T> {
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when no receiver remains.
+    pub fn send(&self, value: T) -> Result<(), T> {
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         if inner.receivers == 0 {
             return Err(value);
@@ -97,23 +110,42 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
-    /// Blocks for the next message; `Err(())` once the channel is empty
-    /// and all senders have been dropped.
-    pub(crate) fn recv(&self) -> Result<T, ()> {
+    /// Blocks for the next message; [`RecvError`] once the channel is
+    /// empty and all senders have been dropped.
+    ///
+    /// The queue is always re-checked ahead of the sender count — both
+    /// on entry and after every `Condvar` wakeup. The ordering is load-
+    /// bearing: a sender that enqueues its final message and drops in
+    /// the same instant wakes this thread with *both* "message ready"
+    /// and "disconnected" true, and testing disconnection first would
+    /// lose that message forever. Disconnection is only reported once
+    /// the queue has been drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and closed.
+    pub fn recv(&self) -> Result<T, RecvError> {
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         loop {
+            // Drain before disconnect — see above.
             if let Some(value) = inner.queue.pop_front() {
                 return Ok(value);
             }
             if inner.senders == 0 {
-                return Err(());
+                return Err(RecvError);
             }
             inner = self.shared.ready.wait(inner).expect("channel poisoned");
         }
     }
 
     /// Non-blocking receive.
-    pub(crate) fn try_recv(&self) -> Result<T, TryRecvError> {
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when no message is queued but senders
+    /// remain; [`TryRecvError::Disconnected`] once the channel is empty
+    /// and closed (pending messages are still drained first).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         if let Some(value) = inner.queue.pop_front() {
             Ok(value)
@@ -169,7 +201,7 @@ mod tests {
         tx.send(1).unwrap();
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
-        assert_eq!(rx.recv(), Err(()));
+        assert_eq!(rx.recv(), Err(RecvError));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
@@ -220,5 +252,67 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send(42).unwrap();
         assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    /// Hammers the exact race `recv` documents: a sender that enqueues
+    /// its final message and drops in the same instant. The blocked
+    /// receiver is woken with "message queued" and "all senders gone"
+    /// simultaneously true; draining before the disconnect check means
+    /// the final message can never be lost. Run enough rounds that the
+    /// send+drop reliably lands inside the receiver's wait window.
+    #[test]
+    fn final_message_survives_send_then_immediate_disconnect() {
+        let rounds: u64 = if cfg!(miri) { 50 } else { 2000 };
+        for round in 0..rounds {
+            let (tx, rx) = channel();
+            let receiver = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            // Enqueue the final message and sever the channel back to
+            // back, racing the receiver's wakeup path.
+            let sender = std::thread::spawn(move || {
+                tx.send(round).unwrap();
+                drop(tx);
+            });
+            sender.join().unwrap();
+            let got = receiver.join().unwrap();
+            assert_eq!(got, vec![round], "round {round} lost its final message");
+        }
+    }
+
+    /// Same race, many senders: every sender's last message must be
+    /// delivered even though the channel disconnects while receivers
+    /// are mid-drain.
+    #[test]
+    fn no_message_lost_across_mass_disconnect() {
+        let rounds = if cfg!(miri) { 10 } else { 200 };
+        for _ in 0..rounds {
+            let (tx, rx) = channel();
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        tx.send(i).unwrap();
+                        // tx drops here; one of these drops flips the
+                        // channel to disconnected at the same instant
+                        // its message lands.
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
     }
 }

@@ -264,11 +264,18 @@ impl EngineStats {
     /// (re-checked / (re-checked + skipped)). `1.0` for the discrete
     /// engine, which re-checks everything; the threaded fast path drives
     /// this down toward the true cross-task conflict rate.
+    ///
+    /// A run that presented no live-ins at all (zero committed tasks, or
+    /// squash-only runs where every task died before verification)
+    /// reports `0.0`: no re-check work happened. This must never be NaN —
+    /// the benchmark gates compare it with `<=`, and NaN would make a
+    /// `--max-recheck-ratio` gate silently pass or fail on IEEE
+    /// comparison semantics rather than on the measurement.
     #[must_use]
     pub fn recheck_ratio(&self) -> f64 {
         let presented = self.live_ins_rechecked + self.live_ins_skipped;
         if presented == 0 {
-            1.0
+            0.0
         } else {
             self.live_ins_rechecked as f64 / presented as f64
         }
@@ -1144,5 +1151,25 @@ mod tests {
         let run = mssp_run(&p, &d, 4);
         assert!((0.0..=1.0).contains(&run.stats.waste_fraction()));
         assert!((0.0..=1.0).contains(&run.stats.recovery_fraction()));
+    }
+
+    #[test]
+    fn recheck_ratio_is_zero_not_nan_when_nothing_was_presented() {
+        // Regression: with no live-ins presented (zero-task or
+        // squash-only runs) the ratio used to be the 0/0 branch; it must
+        // be exactly 0.0 — never NaN, never a placeholder 1.0 — so
+        // `--max-recheck-ratio` gates compare a real number.
+        let stats = EngineStats::default();
+        assert_eq!(stats.live_ins_rechecked + stats.live_ins_skipped, 0);
+        let ratio = stats.recheck_ratio();
+        assert!(!ratio.is_nan());
+        assert_eq!(ratio, 0.0);
+        // And a populated run still reports the true fraction.
+        let populated = EngineStats {
+            live_ins_rechecked: 1,
+            live_ins_skipped: 3,
+            ..EngineStats::default()
+        };
+        assert_eq!(populated.recheck_ratio(), 0.25);
     }
 }

@@ -41,11 +41,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod chan;
+pub mod chan;
 mod cost;
 mod engine;
 mod master;
 mod refinement;
+pub mod ring;
 mod task;
 mod threaded;
 

@@ -7,8 +7,11 @@
 //! 2. previously recorded live-ins (so re-reads are repeatable even while
 //!    older tasks commit underneath),
 //! 3. the master's checkpoint overlay (predicted values for cells the
-//!    master believes it modified since the last committed point), and
-//! 4. the architected state.
+//!    master believes it modified since the last committed point),
+//! 4. optionally a *committed view* — one folded [`Delta`] of writes
+//!    committed after the base snapshot was taken (the threaded
+//!    executor ships this instead of a chain of per-commit deltas), and
+//! 5. the architected state.
 //!
 //! Every read satisfied below layer 1 is recorded as a live-in `(cell,
 //! value)`. At commit time, the verify unit re-checks each recorded value
@@ -86,14 +89,31 @@ impl Task {
     /// Creates a freshly spawned task.
     #[must_use]
     pub fn new(id: TaskId, start_pc: u64, slave: usize, overlay: Vec<Arc<Delta>>) -> Task {
+        Task::with_buffers(id, start_pc, slave, overlay, Delta::new(), Delta::new())
+    }
+
+    /// Creates a freshly spawned task reusing pooled live-in/write
+    /// buffers (the threaded executor's allocation-free dispatch path
+    /// takes them from a [`mssp_machine::DeltaArena`]). Both buffers
+    /// must be empty; their backing capacity is what gets recycled.
+    #[must_use]
+    pub fn with_buffers(
+        id: TaskId,
+        start_pc: u64,
+        slave: usize,
+        overlay: Vec<Arc<Delta>>,
+        live_ins: Delta,
+        writes: Delta,
+    ) -> Task {
+        debug_assert!(live_ins.is_empty() && writes.is_empty());
         Task {
             id,
             start_pc,
             pc: start_pc,
             slave,
             overlay,
-            live_ins: Delta::new(),
-            writes: Delta::new(),
+            live_ins,
+            writes,
             executed: 0,
             crossings: 0,
             status: TaskStatus::Running,
@@ -131,6 +151,24 @@ impl Task {
         program: &Program,
         snapshot: &MachineState,
         rules: &SegmentRules<'_>,
+        abandon: impl FnMut() -> bool,
+    ) -> TaskEnd {
+        self.run_segment_with_view(program, snapshot, None, rules, abandon)
+    }
+
+    /// [`Task::run_segment`] with an optional *committed view*: one
+    /// folded delta of everything committed after `snapshot` was taken,
+    /// layered between the prediction overlay and the snapshot. Reads
+    /// satisfied from it are recorded as live-ins exactly like snapshot
+    /// reads, so verification semantics are unchanged — the view merely
+    /// keeps the task's picture of architected state fresh without
+    /// materializing a new snapshot.
+    pub fn run_segment_with_view(
+        &mut self,
+        program: &Program,
+        snapshot: &MachineState,
+        committed: Option<&Delta>,
+        rules: &SegmentRules<'_>,
         mut abandon: impl FnMut() -> bool,
     ) -> TaskEnd {
         if abandon() {
@@ -139,7 +177,7 @@ impl Task {
         loop {
             let pc = self.pc;
             let result = {
-                let mut storage = self.storage(snapshot);
+                let mut storage = self.storage_with_view(snapshot, committed, false);
                 step(&mut storage, program, pc)
             };
             match result {
@@ -180,10 +218,22 @@ impl Task {
         arch: &'a MachineState,
         word_granular: bool,
     ) -> TaskStorage<'a> {
+        self.storage_with_view(arch, None, word_granular)
+    }
+
+    /// The fully general storage view: architected snapshot, optional
+    /// committed-view delta, and the granularity ablation switch.
+    pub fn storage_with_view<'a>(
+        &'a mut self,
+        arch: &'a MachineState,
+        committed: Option<&'a Delta>,
+        word_granular: bool,
+    ) -> TaskStorage<'a> {
         TaskStorage {
             writes: &mut self.writes,
             live_ins: &mut self.live_ins,
             overlay: &self.overlay,
+            committed,
             arch,
             word_granular,
         }
@@ -213,6 +263,7 @@ pub struct TaskStorage<'a> {
     writes: &'a mut Delta,
     live_ins: &'a mut Delta,
     overlay: &'a [Arc<Delta>],
+    committed: Option<&'a Delta>,
     arch: &'a MachineState,
     word_granular: bool,
 }
@@ -250,6 +301,17 @@ impl TaskStorage<'_> {
                 }
                 if need == 0 {
                     break;
+                }
+            }
+        }
+        if need != 0 {
+            if let Some(cm) = self.committed.and_then(|c| c.get_masked(cell)) {
+                let take = need & cm.mask;
+                if take != 0 {
+                    let bytes = cm.value & expand_mask(take);
+                    out |= bytes;
+                    self.live_ins.record_bytes(cell, bytes, take);
+                    need &= !take;
                 }
             }
         }
@@ -417,6 +479,28 @@ mod tests {
         assert_eq!(task.live_ins.get(Cell::Mem(5)), Some(50));
         // ...and verification against the *current* state now fails.
         assert!(!task.live_ins.consistent_with_state(&arch));
+    }
+
+    #[test]
+    fn committed_view_layers_between_overlay_and_arch() {
+        let mut arch = MachineState::new();
+        arch.store_word(1, 100);
+        arch.store_word(2, 200);
+        let overlay = vec![delta(&[(Cell::Mem(2), 222)])];
+        let committed: Delta = [(Cell::Mem(1), 111), (Cell::Mem(2), 211)]
+            .into_iter()
+            .collect();
+        let mut task = Task::new(TaskId(0), 0, 0, overlay);
+        {
+            let mut st = task.storage_with_view(&arch, Some(&committed), false);
+            assert_eq!(st.load_word(2), 222); // prediction overlay wins
+            assert_eq!(st.load_word(1), 111); // committed view over arch
+            assert_eq!(st.load_word(3), 0); // falls through to arch
+        }
+        // View reads are live-ins: they face the memoization test like
+        // any other read from below the task's own writes.
+        assert_eq!(task.live_ins.get(Cell::Mem(1)), Some(111));
+        assert_eq!(task.live_ins.get(Cell::Mem(2)), Some(222));
     }
 
     #[test]

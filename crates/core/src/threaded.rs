@@ -6,6 +6,33 @@
 //! slave tasks each run on their own OS thread, and the coordinator
 //! thread runs only the in-order verify/commit unit.
 //!
+//! # Contention-free hot path
+//!
+//! Prophet's analysis (and our own profiles) say commit bandwidth and
+//! communication — not slave count — cap CMP speculation, so the
+//! steady-state dispatch/execute/commit cycle takes **no mutex and
+//! performs no heap allocation**:
+//!
+//! * **Lock-free rings.** Each worker owns a bounded SPSC ring
+//!   ([`crate::ring::spsc`]) the coordinator dispatches into; results,
+//!   spawns, stalls, and thread obituaries flow back through one bounded
+//!   MPSC ring ([`crate::ring::mpsc`]), whose per-producer FIFO keeps a
+//!   master's spawns ordered before its stall report — the same
+//!   invariant the old single mutex channel provided. Commit
+//!   notifications and restarts ride an SPSC ring to the master.
+//!   Dispatch and draining are batched: one ring publish covers every
+//!   task bound for a worker in a drain cycle, and the coordinator pops
+//!   results in batches.
+//!
+//! * **Delta recycling.** Task live-in/write buffers, the shipped
+//!   committed view, and commit-log entries are plain [`Delta`]s cycled
+//!   through a [`DeltaArena`] — buffers travel coordinator → worker →
+//!   coordinator inside the work/result messages and return to the pool
+//!   at commit or squash, so after warm-up the task cycle allocates
+//!   nothing. (The master still allocates its per-spawn prediction
+//!   overlay; that is the prediction path, not the dispatch/commit
+//!   path.)
+//!
 //! # O(delta) verify/commit
 //!
 //! The verify/commit unit is MSSP's serialization point, so everything on
@@ -14,7 +41,7 @@
 //!
 //! * **Worker-side pre-verification.** After finishing a task, the worker
 //!   re-checks the recorded live-ins against the immutable snapshot +
-//!   pending-delta view it executed from and ships the set of failing
+//!   committed-view it executed from and ships the set of failing
 //!   cells with the result. The coordinator then re-checks only (a) those
 //!   failures and (b) live-ins intersecting cells written by tasks
 //!   committed *after* the task's spawn sequence number — found by
@@ -24,31 +51,34 @@
 //!
 //! * **Incremental snapshot publishing.** Committing no longer clones
 //!   architected state. The committed write [`Delta`] is pushed onto an
-//!   append-only [`CommitLog`]; a spawned task carries the last
-//!   materialized base snapshot plus the log suffix, which the worker
-//!   folds into one overlay segment for the existing
-//!   [`crate::task::TaskStorage`] layering. A fresh full snapshot is
-//!   materialized only when the pending chain crosses a length/size
+//!   append-only [`CommitLog`]; the coordinator folds the log suffix
+//!   into a running view delta and ships each spawned task the last
+//!   materialized base snapshot plus a pooled clone of that view for
+//!   the [`crate::task::TaskStorage`] committed layer. A fresh full
+//!   snapshot is materialized only when the view crosses a length/size
 //!   threshold or on squash.
 //!
-//! * **Batched commit application.** Consecutive clean commits accumulate
-//!   as deltas and are applied to architected state in one
-//!   [`MachineState::apply_batch`] superimposition, deferred until
-//!   something actually needs to *read* architected state (a live-in
-//!   re-check, a squash, a snapshot materialization, or run end).
+//! * **Batched commit application.** Commits are applied to architected
+//!   state as one [`MachineState::apply_batch`] superimposition over the
+//!   unapplied log suffix, deferred until something actually needs to
+//!   *read* architected state (a live-in re-check, a squash, a snapshot
+//!   materialization, or run end).
 //!
 //! Soundness is unchanged from the paper's memoization test. A live-in
 //! passing pre-verification matched the architected value as of spawn
-//! sequence `s` (snapshot + pending deltas ≡ architected state at `s`,
+//! sequence `s` (snapshot + committed view ≡ architected state at `s`,
 //! since recovery always bumps the epoch and discards in-flight work).
 //! If no commit in `[s, now)` wrote the cell, the architected value at
 //! commit time is byte-identical to the value pre-verification compared
 //! against, so skipping the re-check returns exactly the oracle's
 //! verdict; if any commit did write it, the cell is in the log suffix
-//! intersection and is re-checked. [`verify_and_commit`] remains the
-//! shared oracle — `EngineConfig::cross_check_commits` re-runs it on a
-//! cloned state for every decision and panics on divergence, which the
-//! differential test suite exercises at 1/2/4/8 workers.
+//! intersection and is re-checked. A task whose spawn sequence predates
+//! the retained window is re-checked in full — the suffix probe cannot
+//! prove freshness for commits that were compacted away.
+//! [`verify_and_commit`] remains the shared oracle —
+//! `EngineConfig::cross_check_commits` re-runs it on a cloned state for
+//! every decision and panics on divergence, which the differential test
+//! suite exercises at 1/2/4/8 workers.
 //!
 //! Reading a slightly stale snapshot can never corrupt state — recorded
 //! live-ins are checked against architected state at commit, so a stale
@@ -62,27 +92,39 @@
 //! result, which the test suite asserts against [`crate::Engine`] and the
 //! sequential machine.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mssp_distill::Distilled;
 use mssp_isa::Program;
-use mssp_machine::{expand_mask, step, Cell, Delta, MachineState};
+use mssp_machine::{expand_mask, step, Cell, Delta, DeltaArena, MachineState};
 
-use crate::chan::{channel, Receiver, Sender, TryRecvError};
 use crate::master::{Master, MasterStall};
+use crate::ring::{self, MpscReceiver, MpscSender, SpscReceiver, SpscSender, TryRecvError};
 use crate::task::{BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId};
 use crate::{verify_and_commit, VerifyOutcome};
 use crate::{EngineConfig, EngineError, EngineStats, SquashReason};
 
 /// Commit-log length after which the coordinator materializes a fresh
-/// base snapshot instead of letting workers replay ever-longer chains.
+/// base snapshot instead of letting the committed view grow unboundedly.
 const MAX_PENDING_DELTAS: u64 = 32;
 
 /// Total cells across pending deltas after which a fresh base snapshot is
-/// materialized (bounds worker-side merge cost for write-heavy tasks).
+/// materialized (bounds view-clone cost for write-heavy tasks).
 const MAX_PENDING_CELLS: usize = 1024;
+
+/// Per-worker task ring capacity. Round-robin dispatch over a
+/// `2 × slaves` speculation window keeps per-worker queues tiny; the
+/// headroom absorbs stale items queued across a squash.
+const WORK_RING_CAP: usize = 64;
+
+/// Control ring (coordinator → master) capacity: one `Committed` per
+/// commit plus rare restarts; the master drains it every outer loop.
+const CTRL_RING_CAP: usize = 1024;
+
+/// Result messages popped per coordinator drain cycle.
+const DRAIN_BATCH: usize = 64;
 
 /// How a threaded run can fail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,10 +175,10 @@ struct WorkItem {
     epoch: u64,
     /// Last materialized base snapshot.
     base: Arc<MachineState>,
-    /// Deltas committed after `base` was materialized, oldest first.
-    /// `base` + `pending` ≡ architected state as of the task's spawn
+    /// Folded writes committed after `base` was materialized; pooled.
+    /// `base` + `view` ≡ architected state as of the task's spawn
     /// sequence number (which the coordinator tracks in `in_flight`).
-    pending: Vec<Arc<Delta>>,
+    view: Delta,
     task: Task,
 }
 
@@ -148,11 +190,15 @@ struct WorkResult {
     /// spawn-time view (`None` when the task overran or faulted, which
     /// squashes before any live-in is consulted).
     failed: Option<Vec<Cell>>,
+    /// The committed view handed out at dispatch, riding back for
+    /// recycling.
+    view: Delta,
 }
 
 /// Everything the coordinator can hear: worker results, master spawns,
-/// master stalls, and thread obituaries — one FIFO channel, so a master's
-/// spawns are processed in spawn order relative to its stall report.
+/// master stalls, and thread obituaries — one MPSC ring whose
+/// per-producer FIFO keeps a master's spawns in spawn order relative to
+/// its stall report.
 enum CoordMsg {
     Result(WorkResult),
     Spawn {
@@ -185,7 +231,7 @@ enum CtrlMsg {
 /// [`ThreadedError::WorkerDied`] instead of blocking forever on a result
 /// that will never arrive. Normal exits send nothing.
 struct DeadManSwitch {
-    tx: Sender<CoordMsg>,
+    tx: MpscSender<CoordMsg>,
 }
 
 impl Drop for DeadManSwitch {
@@ -198,10 +244,11 @@ impl Drop for DeadManSwitch {
 
 /// The append-only commit log: a sliding window over the sequence of
 /// committed write deltas. `start` is the sequence number of the oldest
-/// retained entry; entries below it have been compacted away once no
-/// in-flight task or base snapshot could still need them.
+/// retained entry; entries below it have been compacted away (their
+/// buffers returned to the arena) once no in-flight task or base
+/// snapshot could still need them.
 struct CommitLog {
-    deltas: VecDeque<Arc<Delta>>,
+    deltas: VecDeque<Delta>,
     start: u64,
 }
 
@@ -218,38 +265,34 @@ impl CommitLog {
         self.start + self.deltas.len() as u64
     }
 
-    fn push(&mut self, delta: Arc<Delta>) {
+    fn push(&mut self, delta: Delta) {
         self.deltas.push_back(delta);
     }
 
     /// Entries committed at sequence `seq` or later.
     fn suffix(&self, seq: u64) -> impl Iterator<Item = &Delta> + '_ {
         let skip = seq.saturating_sub(self.start).min(self.deltas.len() as u64) as usize;
-        self.deltas.iter().skip(skip).map(|d| &**d)
+        self.deltas.iter().skip(skip)
     }
 
-    /// Clones of the entries from `seq` on, oldest first — the pending
-    /// chain shipped with a spawn.
-    fn pending(&self, seq: u64) -> Vec<Arc<Delta>> {
-        let skip = seq.saturating_sub(self.start).min(self.deltas.len() as u64) as usize;
-        self.deltas.iter().skip(skip).cloned().collect()
-    }
-
-    /// Drops entries below sequence `keep`.
-    fn compact(&mut self, keep: u64) {
+    /// Drops entries below sequence `keep`, recycling their buffers.
+    fn compact(&mut self, keep: u64, arena: &mut DeltaArena) {
         while self.start < keep {
-            if self.deltas.pop_front().is_none() {
+            let Some(d) = self.deltas.pop_front() else {
                 break;
-            }
+            };
+            arena.put(d);
             self.start += 1;
         }
     }
 
     /// Empties the window (squash/recovery: every retained delta is now
     /// folded into the materialized base). Sequence numbers keep rising.
-    fn clear_window(&mut self) {
+    fn clear_window(&mut self, arena: &mut DeltaArena) {
         self.start += self.deltas.len() as u64;
-        self.deltas.clear();
+        for d in self.deltas.drain(..) {
+            arena.put(d);
+        }
     }
 }
 
@@ -261,7 +304,17 @@ impl CommitLog {
 /// intersecting a delta committed at or after `seq` (the summary could
 /// not have seen those commits, so it is stale for exactly those cells).
 /// An empty return means the summary alone decides the memoization test.
+///
+/// A `seq` older than the log's retained window demands a **full**
+/// re-check: commits in `[seq, start)` are gone, so the suffix probe can
+/// no longer prove any live-in fresh. (Compaction keeps the window at or
+/// below every in-flight spawn seq, but this function must not silently
+/// clamp if that invariant is ever violated — clamping skipped exactly
+/// the commits the task never saw.)
 fn cells_to_recheck(live_ins: &Delta, failed: &[Cell], log: &CommitLog, seq: u64) -> Vec<Cell> {
+    if seq < log.start {
+        return live_ins.iter_masked().map(|(c, _)| c).collect();
+    }
     if failed.is_empty() && !log.suffix(seq).any(|d| live_ins.intersects(d)) {
         return Vec::new();
     }
@@ -275,8 +328,8 @@ fn cells_to_recheck(live_ins: &Delta, failed: &[Cell], log: &CommitLog, seq: u64
 }
 
 /// Worker-side pre-verification: compares each recorded live-in against
-/// the view the task executed from (`view` = merged pending deltas over
-/// `base`), returning the cells whose bytes disagree.
+/// the view the task executed from (`view` = folded committed deltas
+/// over `base`), returning the cells whose bytes disagree.
 ///
 /// Live-ins satisfied from the master's *prediction* overlay usually land
 /// here (the view has no reason to agree with a prediction) — that is
@@ -302,14 +355,22 @@ fn pre_verify(live_ins: &Delta, view: Option<&Delta>, base: &MachineState) -> Ve
     failed
 }
 
-/// Applies the accumulated commit batch as one superimposition and
+/// Applies the unapplied commit-log suffix as one superimposition and
 /// restores the logical PC. Safe to call redundantly.
-fn flush_batch(arch: &mut MachineState, batch: &mut Vec<Arc<Delta>>, virt_pc: u64) {
-    if !batch.is_empty() {
-        arch.apply_batch(batch.iter().map(|d| &**d));
-        batch.clear();
+fn flush_commits(arch: &mut MachineState, log: &CommitLog, applied_seq: &mut u64, virt_pc: u64) {
+    if *applied_seq < log.seq() {
+        arch.apply_batch(log.suffix(*applied_seq));
+        *applied_seq = log.seq();
     }
     arch.set_pc(virt_pc);
+}
+
+/// Returns a result's delta buffers to the arena (stale epoch, squash).
+fn recycle_result(arena: &mut DeltaArena, r: WorkResult) {
+    let WorkResult { mut task, view, .. } = r;
+    arena.put(view);
+    arena.put(std::mem::take(&mut task.live_ins));
+    arena.put(std::mem::take(&mut task.writes));
 }
 
 /// Runs the MSSP protocol with `config.num_slaves` worker threads plus a
@@ -339,15 +400,23 @@ pub fn run_threaded(
     let crossings_per_task = distilled.crossings_per_task().max(1);
     let current_epoch = Arc::new(AtomicU64::new(0));
 
-    let (work_tx, work_rx) = channel::<WorkItem>();
-    let (coord_tx, coord_rx) = channel::<CoordMsg>();
-    let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg>();
+    // Result/coordination ring sized far above the speculation window so
+    // producers (workers, master) never meet a full ring in practice.
+    let coord_cap = (config.num_slaves * 8).max(1024);
+    let (coord_tx, mut coord_rx) = ring::mpsc::<CoordMsg>(coord_cap);
+    let (mut ctrl_tx, mut ctrl_rx) = ring::spsc::<CtrlMsg>(CTRL_RING_CAP);
+    let mut work_txs = Vec::with_capacity(config.num_slaves);
+    let mut work_rxs = Vec::with_capacity(config.num_slaves);
+    for _ in 0..config.num_slaves {
+        let (tx, rx) = ring::spsc::<WorkItem>(WORK_RING_CAP);
+        work_txs.push(tx);
+        work_rxs.push(rx);
+    }
 
     std::thread::scope(|scope| -> Result<ThreadedRun, ThreadedError> {
         // ---- workers ----
         let mut workers = Vec::with_capacity(config.num_slaves);
-        for _ in 0..config.num_slaves {
-            let work_rx = work_rx.clone();
+        for mut work_rx in work_rxs {
             let coord_tx = coord_tx.clone();
             let boundaries = Arc::clone(&boundaries);
             let current_epoch = Arc::clone(&current_epoch);
@@ -363,7 +432,7 @@ pub fn run_threaded(
                     crossings_per_task,
                     max_task,
                     &current_epoch,
-                    &work_rx,
+                    &mut work_rx,
                     &coord_tx,
                 );
             }));
@@ -379,11 +448,10 @@ pub fn run_threaded(
                 let _guard = DeadManSwitch {
                     tx: coord_tx.clone(),
                 };
-                master_thread(distilled, num_slaves, runahead, &ctrl_rx, &coord_tx)
+                master_thread(distilled, num_slaves, runahead, &mut ctrl_rx, &coord_tx)
             })
         };
         drop(coord_tx); // coordinator keeps only the receiver
-        drop(work_rx); // workers keep the competitive-consumption clones
 
         // ---- coordinator: the in-order verify/commit unit ----
         let mut stats = EngineStats::default();
@@ -393,17 +461,17 @@ pub fn run_threaded(
             crossings_per_task,
             &config,
             &current_epoch,
-            &work_tx,
-            &coord_rx,
-            &ctrl_tx,
+            &mut work_txs,
+            &mut coord_rx,
+            &mut ctrl_tx,
             &mut stats,
         );
 
         // Shut down regardless of outcome: stragglers abandon at the next
-        // epoch poll, closed channels end both loops, and joining here
+        // epoch poll, closed rings end both loops, and joining here
         // consumes any panic so the scope does not re-raise it.
         current_epoch.store(u64::MAX, Ordering::Relaxed);
-        drop(work_tx);
+        drop(work_txs);
         drop(ctrl_tx);
         drop(coord_rx);
         let mut thread_died = false;
@@ -429,15 +497,17 @@ pub fn run_threaded(
 }
 
 /// Worker thread body: execute tasks against their spawn-time view, then
-/// pre-verify the recorded live-ins against that same view.
+/// pre-verify the recorded live-ins against that same view. The loop is
+/// allocation-free: every buffer it touches arrives in the work item and
+/// leaves in the result.
 fn worker_loop(
     original: &Program,
     boundaries: &BoundarySet,
     crossings_per_task: u64,
     max_instrs: u64,
     current_epoch: &AtomicU64,
-    work_rx: &Receiver<WorkItem>,
-    coord_tx: &Sender<CoordMsg>,
+    work_rx: &mut SpscReceiver<WorkItem>,
+    coord_tx: &MpscSender<CoordMsg>,
 ) {
     let rules = SegmentRules {
         boundaries,
@@ -447,37 +517,24 @@ fn worker_loop(
     while let Ok(WorkItem {
         epoch,
         base,
-        pending,
+        view,
         mut task,
     }) = work_rx.recv()
     {
-        // Fold the pending committed deltas into one overlay segment.
-        // It layers *below* the master's prediction segments (committed
-        // state is older than any prediction) and *above* the base
-        // snapshot, reproducing architected state as of `seq`.
-        let view: Option<Arc<Delta>> = match pending.as_slice() {
-            [] => None,
-            [one] => Some(Arc::clone(one)),
-            [first, rest @ ..] => {
-                let mut merged = (**first).clone();
-                for delta in rest {
-                    merged.superimpose_in_place(delta);
-                }
-                Some(Arc::new(merged))
-            }
-        };
-        if let Some(v) = &view {
-            task.overlay.push(Arc::clone(v));
-        }
+        // The committed view layers *below* the master's prediction
+        // segments (committed state is older than any prediction) and
+        // *above* the base snapshot, reproducing architected state as of
+        // the spawn sequence number.
+        let committed = if view.is_empty() { None } else { Some(&view) };
         // The hot loop: no lock, no shared mutable state. The closure
         // polls the epoch so squashed work is dropped at entry, at
         // boundary crossings, and every 64 instructions.
-        let end = task.run_segment(original, &base, &rules, || {
+        let end = task.run_segment_with_view(original, &base, committed, &rules, || {
             current_epoch.load(Ordering::Relaxed) != epoch
         });
         let failed = match end {
             TaskEnd::Boundary(_) | TaskEnd::Halted(_) => {
-                Some(pre_verify(&task.live_ins, view.as_deref(), &base))
+                Some(pre_verify(&task.live_ins, committed, &base))
             }
             // Overruns/faults squash before live-ins are consulted.
             TaskEnd::Overrun | TaskEnd::Fault => None,
@@ -490,6 +547,7 @@ fn worker_loop(
             task,
             end,
             failed,
+            view,
         };
         if coord_tx.send(CoordMsg::Result(result)).is_err() {
             return;
@@ -504,13 +562,13 @@ fn worker_loop(
 /// The master self-gates on its own `live_segment_count` (pruned by
 /// [`CtrlMsg::Committed`]), which tracks uncommitted spawned tasks — the
 /// same `2 × slaves` speculation window the discrete engine uses. When it
-/// cannot run (stalled, or window full) it parks on the control channel.
+/// cannot run (stalled, or window full) it parks on the control ring.
 fn master_thread(
     distilled: &Distilled,
     num_slaves: usize,
     master_runahead: u64,
-    ctrl_rx: &Receiver<CtrlMsg>,
-    coord_tx: &Sender<CoordMsg>,
+    ctrl_rx: &mut SpscReceiver<CtrlMsg>,
+    coord_tx: &MpscSender<CoordMsg>,
 ) -> u64 {
     let window = num_slaves * 2;
     let mut total = 0u64;
@@ -551,7 +609,7 @@ fn master_thread(
             } else {
                 match ctrl_rx.recv() {
                     Ok(m) => m,
-                    Err(()) => return total,
+                    Err(_) => return total,
                 }
             };
             match msg {
@@ -614,7 +672,7 @@ fn master_thread(
 
 /// The verify/commit coordinator: owns architected state, dispatches
 /// spawns to workers, and commits results in order doing O(write-set)
-/// work per task.
+/// work per task with no steady-state allocation.
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn coordinate(
     original: &Program,
@@ -622,26 +680,36 @@ fn coordinate(
     crossings_per_task: u64,
     config: &EngineConfig,
     current_epoch: &AtomicU64,
-    work_tx: &Sender<WorkItem>,
-    coord_rx: &Receiver<CoordMsg>,
-    ctrl_tx: &Sender<CtrlMsg>,
+    work_txs: &mut [SpscSender<WorkItem>],
+    coord_rx: &mut MpscReceiver<CoordMsg>,
+    ctrl_tx: &mut SpscSender<CtrlMsg>,
     stats: &mut EngineStats,
 ) -> Result<MachineState, ThreadedError> {
+    let mut arena = DeltaArena::new();
     let mut arch = MachineState::boot(original);
     // The logical architected PC: `arch` itself may lag behind by the
-    // unapplied commit batch, but `virt_pc` never does, so the wrong-path
-    // check needs no flush.
+    // unapplied commit-log suffix, but `virt_pc` never does, so the
+    // wrong-path check needs no flush.
     let mut virt_pc = arch.pc();
     let mut base = Arc::new(arch.clone());
     let mut base_seq = 0u64;
+    // Commits at or above this sequence are not yet applied to `arch`.
+    let mut applied_seq = 0u64;
     stats.snapshots_materialized += 1;
     let mut log = CommitLog::new();
+    // Superimposition of log entries in [base_seq, seq): the committed
+    // view cloned into every spawn. Maintained incrementally per commit.
+    let mut folded = Delta::new();
     let mut pending_cells = 0usize;
-    let mut batch: Vec<Arc<Delta>> = Vec::new();
     let mut epoch = 0u64;
     // (task id, spawn sequence number), in spawn = commit order.
     let mut in_flight: VecDeque<(u64, u64)> = VecDeque::new();
-    let mut done: BTreeMap<u64, WorkResult> = BTreeMap::new();
+    // Finished-but-uncommitted results; the window is tiny (≤ 2×slaves),
+    // so a linear scan beats a map and reuses its capacity forever.
+    let mut done: Vec<(u64, WorkResult)> = Vec::new();
+    let mut inbox: Vec<CoordMsg> = Vec::with_capacity(DRAIN_BATCH);
+    let mut outbox: Vec<Vec<WorkItem>> = work_txs.iter().map(|_| Vec::new()).collect();
+    let mut next_worker = 0usize;
     let mut master_stalled = false;
     let mut halted = false;
 
@@ -655,74 +723,100 @@ fn coordinate(
     }
 
     while !halted {
-        // 1. Receive spawns, results, and master status. Block only when
-        //    there is nothing to commit and no starvation to handle —
-        //    in both remaining cases a message is guaranteed to arrive
-        //    (an in-flight result, a spawn, a stall report, or a thread
-        //    obituary).
+        // 1. Receive spawns, results, and master status in batches.
+        //    Block only when there is nothing to commit and no starvation
+        //    to handle — in both remaining cases a message is guaranteed
+        //    to arrive (an in-flight result, a spawn, a stall report, or
+        //    a thread obituary).
         let mut received = false;
         loop {
             let oldest_ready = in_flight
                 .front()
-                .is_some_and(|&(id, _)| done.contains_key(&id));
+                .is_some_and(|&(id, _)| done.iter().any(|&(d, _)| d == id));
             let starved = in_flight.is_empty() && master_stalled;
-            let msg = if oldest_ready || starved || received {
-                match coord_rx.try_recv() {
-                    Ok(m) => m,
-                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            inbox.clear();
+            if oldest_ready || starved || received {
+                if coord_rx.recv_batch(&mut inbox, DRAIN_BATCH) == 0 {
+                    break;
                 }
             } else {
                 match coord_rx.recv() {
-                    Ok(m) => m,
-                    Err(()) => return Err(ThreadedError::WorkerDied),
+                    Ok(m) => {
+                        inbox.push(m);
+                        coord_rx.recv_batch(&mut inbox, DRAIN_BATCH - 1);
+                    }
+                    Err(_) => return Err(ThreadedError::WorkerDied),
                 }
-            };
+            }
             received = true;
-            match msg {
-                CoordMsg::Result(r) => {
-                    if r.epoch == epoch {
-                        done.insert(r.task.id.0, r);
+            for msg in inbox.drain(..) {
+                match msg {
+                    CoordMsg::Result(r) => {
+                        if r.epoch == epoch {
+                            done.push((r.task.id.0, r));
+                        } else {
+                            recycle_result(&mut arena, r);
+                        }
                     }
+                    CoordMsg::Spawn {
+                        gen,
+                        id,
+                        start_pc,
+                        overlay,
+                    } => {
+                        if gen != epoch {
+                            continue; // pre-squash prediction; already dead
+                        }
+                        let seq = log.seq();
+                        stats.spawned_tasks += 1;
+                        in_flight.push_back((id, seq));
+                        let mut view = arena.take();
+                        view.clone_from(&folded);
+                        let task = Task::with_buffers(
+                            TaskId(id),
+                            start_pc,
+                            next_worker,
+                            overlay,
+                            arena.take(),
+                            arena.take(),
+                        );
+                        outbox[next_worker].push(WorkItem {
+                            epoch,
+                            base: Arc::clone(&base),
+                            view,
+                            task,
+                        });
+                        next_worker = (next_worker + 1) % work_txs.len();
+                    }
+                    CoordMsg::MasterStalled { gen } => {
+                        if gen == epoch {
+                            master_stalled = true;
+                        }
+                    }
+                    CoordMsg::ThreadDied => return Err(ThreadedError::WorkerDied),
                 }
-                CoordMsg::Spawn {
-                    gen,
-                    id,
-                    start_pc,
-                    overlay,
-                } => {
-                    if gen != epoch {
-                        continue; // pre-squash prediction; already dead
-                    }
-                    let seq = log.seq();
-                    stats.spawned_tasks += 1;
-                    in_flight.push_back((id, seq));
-                    let item = WorkItem {
-                        epoch,
-                        base: Arc::clone(&base),
-                        pending: log.pending(base_seq),
-                        task: Task::new(TaskId(id), start_pc, 0, overlay),
-                    };
-                    if work_tx.send(item).is_err() {
-                        return Err(ThreadedError::WorkerDied);
-                    }
+            }
+            // Batched dispatch: one ring publish per worker per drain.
+            for (box_, tx) in outbox.iter_mut().zip(work_txs.iter_mut()) {
+                if !box_.is_empty() && tx.send_batch(box_.drain(..)).is_err() {
+                    return Err(ThreadedError::WorkerDied);
                 }
-                CoordMsg::MasterStalled { gen } => {
-                    if gen == epoch {
-                        master_stalled = true;
-                    }
-                }
-                CoordMsg::ThreadDied => return Err(ThreadedError::WorkerDied),
             }
         }
 
         // 2. Verify/commit in order.
         'commit: while let Some(&(oldest_id, task_seq)) = in_flight.front() {
-            let Some(result) = done.remove(&oldest_id) else {
+            let Some(pos) = done.iter().position(|&(id, _)| id == oldest_id) else {
                 break;
             };
+            let (_, result) = done.swap_remove(pos);
             in_flight.pop_front();
             let WorkResult {
-                task, end, failed, ..
+                mut task,
+                end,
+                failed,
+                view,
+                ..
             } = result;
 
             // The fast-path verdict: O(write-set) work, same precedence
@@ -752,7 +846,7 @@ fn coordinate(
                 if recheck.is_empty() {
                     stats.pre_verified_tasks += 1;
                 } else {
-                    flush_batch(&mut arch, &mut batch, virt_pc);
+                    flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
                     for &cell in &recheck {
                         let Some(m) = task.live_ins.get_masked(cell) else {
                             continue; // a failed cell later overwritten? impossible, but harmless
@@ -771,7 +865,7 @@ fn coordinate(
             // Differential-testing mode: replay the decision through the
             // shared oracle on a clone and demand bit-identical results.
             let oracle = if config.cross_check_commits {
-                flush_batch(&mut arch, &mut batch, virt_pc);
+                flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
                 let mut shadow = arch.clone();
                 let oracle_verdict = verify_and_commit(&mut shadow, &task, end);
                 assert_eq!(
@@ -791,13 +885,14 @@ fn coordinate(
                     stats.live_in_cells += task.live_ins.len() as u64;
                     stats.live_out_cells += task.writes.len() as u64;
                     let task_id = task.id.0;
-                    let writes = Arc::new(task.writes);
-                    pending_cells += writes.len();
-                    log.push(Arc::clone(&writes));
-                    batch.push(writes);
+                    pending_cells += task.writes.len();
+                    folded.superimpose_in_place(&task.writes);
+                    log.push(std::mem::take(&mut task.writes));
+                    arena.put(std::mem::take(&mut task.live_ins));
+                    arena.put(view);
                     virt_pc = end_pc;
                     if let Some(shadow) = &oracle {
-                        flush_batch(&mut arch, &mut batch, virt_pc);
+                        flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
                         assert_eq!(
                             &arch, shadow,
                             "threaded fast path committed state diverged from oracle"
@@ -815,9 +910,10 @@ fn coordinate(
                     if log.seq() - base_seq >= MAX_PENDING_DELTAS
                         || pending_cells >= MAX_PENDING_CELLS
                     {
-                        flush_batch(&mut arch, &mut batch, virt_pc);
+                        flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
                         base = Arc::new(arch.clone());
                         base_seq = log.seq();
+                        folded.clear();
                         pending_cells = 0;
                         stats.snapshots_materialized += 1;
                     } else {
@@ -830,7 +926,7 @@ fn coordinate(
                 }
                 VerifyOutcome::Squash(reason) => {
                     // Squash everything younger and run recovery.
-                    flush_batch(&mut arch, &mut batch, virt_pc);
+                    flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
                     stats.squashed_tasks += 1 + in_flight.len() as u64;
                     match reason {
                         SquashReason::WrongPath => stats.squashes_wrong_path += 1,
@@ -841,7 +937,12 @@ fn coordinate(
                     epoch += 1;
                     current_epoch.store(epoch, Ordering::Relaxed);
                     in_flight.clear();
-                    done.clear();
+                    arena.put(view);
+                    arena.put(std::mem::take(&mut task.live_ins));
+                    arena.put(std::mem::take(&mut task.writes));
+                    for (_, r) in done.drain(..) {
+                        recycle_result(&mut arena, r);
+                    }
                     master_stalled = false;
                     let recovered = run_recovery(
                         original,
@@ -853,9 +954,11 @@ fn coordinate(
                     stats.recovery_segments += 1;
                     stats.recovery_instructions += recovered.0;
                     stats.committed_instructions += recovered.0;
-                    log.clear_window();
+                    log.clear_window(&mut arena);
+                    folded.clear();
                     base = Arc::new(arch.clone());
                     base_seq = log.seq();
+                    applied_seq = log.seq();
                     pending_cells = 0;
                     stats.snapshots_materialized += 1;
                     virt_pc = arch.pc();
@@ -879,7 +982,7 @@ fn coordinate(
         // 3. Master starved (lost/halted with nothing in flight):
         //    sequential recovery, then reseed the master.
         if !halted && in_flight.is_empty() && master_stalled {
-            flush_batch(&mut arch, &mut batch, virt_pc);
+            flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
             let recovered = run_recovery(
                 original,
                 boundaries,
@@ -895,10 +998,14 @@ fn coordinate(
             epoch += 1;
             current_epoch.store(epoch, Ordering::Relaxed);
             master_stalled = false;
-            done.clear();
-            log.clear_window();
+            for (_, r) in done.drain(..) {
+                recycle_result(&mut arena, r);
+            }
+            log.clear_window(&mut arena);
+            folded.clear();
             base = Arc::new(arch.clone());
             base_seq = log.seq();
+            applied_seq = log.seq();
             pending_cells = 0;
             stats.snapshots_materialized += 1;
             virt_pc = arch.pc();
@@ -917,16 +1024,17 @@ fn coordinate(
         }
 
         // 4. Compact the commit log: keep entries any in-flight task's
-        //    conflict check or any future spawn's pending chain could
-        //    still reference.
+        //    conflict check or the unapplied/unfolded suffix could still
+        //    reference. `base_seq ≤ applied_seq` always, so the keep
+        //    bound also protects the flush suffix.
         let keep = in_flight
             .front()
             .map_or_else(|| log.seq(), |&(_, seq)| seq)
             .min(base_seq);
-        log.compact(keep);
+        log.compact(keep, &mut arena);
     }
 
-    flush_batch(&mut arch, &mut batch, virt_pc);
+    flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
     Ok(arch)
 }
 
@@ -998,8 +1106,8 @@ mod tests {
         (p, d)
     }
 
-    fn delta(pairs: &[(Cell, u64)]) -> Arc<Delta> {
-        Arc::new(pairs.iter().copied().collect())
+    fn delta(pairs: &[(Cell, u64)]) -> Delta {
+        pairs.iter().copied().collect()
     }
 
     #[test]
@@ -1068,6 +1176,7 @@ mod tests {
 
     #[test]
     fn commit_log_is_a_sliding_window_with_monotonic_seq() {
+        let mut arena = DeltaArena::new();
         let mut log = CommitLog::new();
         assert_eq!(log.seq(), 0);
         log.push(delta(&[(Cell::Mem(0), 1)]));
@@ -1075,14 +1184,14 @@ mod tests {
         log.push(delta(&[(Cell::Mem(2), 3)]));
         assert_eq!(log.seq(), 3);
         assert_eq!(log.suffix(1).count(), 2);
-        assert_eq!(log.pending(0).len(), 3);
-        log.compact(2);
+        log.compact(2, &mut arena);
         assert_eq!(log.seq(), 3); // seq unaffected by compaction
-        assert_eq!(log.suffix(0).count(), 1); // clamped to the window
-        assert_eq!(log.pending(2).len(), 1);
-        log.clear_window();
+        assert_eq!(log.suffix(2).count(), 1);
+        assert_eq!(arena.pooled(), 2, "compacted entries return to the pool");
+        log.clear_window(&mut arena);
         assert_eq!(log.seq(), 3);
-        assert_eq!(log.suffix(0).count(), 0);
+        assert_eq!(log.suffix(3).count(), 0);
+        assert_eq!(arena.pooled(), 3);
     }
 
     #[test]
@@ -1113,6 +1222,35 @@ mod tests {
     }
 
     #[test]
+    fn window_pruned_past_task_forces_full_recheck() {
+        // Regression: a task spawned at seq 0, then the window is
+        // compacted to start = 2 — dropping a seq-1 commit that wrote one
+        // of the task's live-ins. The old `saturating_sub` clamped the
+        // suffix probe to the window head, found no intersection in the
+        // *retained* entries, and trusted a summary that never saw the
+        // conflicting commit.
+        let live_ins: Delta = [(Cell::Mem(1), 5), (Cell::Reg(Reg::A0), 2)]
+            .into_iter()
+            .collect();
+        let mut arena = DeltaArena::new();
+        let mut log = CommitLog::new();
+        log.push(delta(&[(Cell::Mem(7), 1)])); // seq 0: disjoint
+        log.push(delta(&[(Cell::Mem(1), 9)])); // seq 1: conflicts!
+        log.push(delta(&[(Cell::Mem(8), 2)])); // seq 2: disjoint
+        log.compact(2, &mut arena); // prune past the in-flight task
+
+        // seq 0 predates the window: every live-in must be re-checked
+        // even though the retained suffix intersects none of them.
+        assert_eq!(
+            cells_to_recheck(&live_ins, &[], &log, 0),
+            vec![Cell::Reg(Reg::A0), Cell::Mem(1)],
+            "a spawn seq below the window start demands a full re-check"
+        );
+        // At the window start the precise suffix probe still applies.
+        assert!(cells_to_recheck(&live_ins, &[], &log, 2).is_empty());
+    }
+
+    #[test]
     fn pre_verify_resolves_view_over_base() {
         let mut base = MachineState::new();
         base.store_word(1, 10);
@@ -1132,7 +1270,7 @@ mod tests {
 
     #[test]
     fn worker_panic_surfaces_as_worker_died() {
-        let (tx, rx) = channel::<CoordMsg>();
+        let (tx, mut rx) = ring::mpsc::<CoordMsg>(8);
         std::thread::spawn(move || {
             let _guard = DeadManSwitch { tx };
             panic!("worker exploded");

@@ -27,8 +27,18 @@
 //! The algebraic laws of Definition 8 (associativity, containment,
 //! idempotency) are verified by unit and property tests in this crate and
 //! re-checked end-to-end by the `t10_formal` experiment.
+//!
+//! # Representation
+//!
+//! A `Delta` is stored as a single sorted `Vec<(Cell, MaskedVal)>` rather
+//! than a node-based tree: lookups are binary searches, iteration is a
+//! linear slice walk, and — crucially for the threaded executor's
+//! allocation-free hot path — [`Delta::clear`] retains the buffer's
+//! capacity, so a recycled delta (see [`crate::DeltaArena`]) performs no
+//! heap allocation in steady state. Typical live-in/live-out sets are
+//! tens of cells, where a flat sorted vector also beats a B-tree on both
+//! cache behaviour and constant factors.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{Cell, MachineState};
@@ -118,9 +128,25 @@ impl MaskedVal {
 /// assert_eq!(c.get(Cell::Reg(Reg::A0)), Some(2));
 /// assert_eq!(c.get(Cell::Reg(Reg::A1)), Some(3));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Delta {
-    cells: BTreeMap<Cell, MaskedVal>,
+    /// Sorted by cell, one entry per bound cell.
+    cells: Vec<(Cell, MaskedVal)>,
+}
+
+impl Clone for Delta {
+    fn clone(&self) -> Delta {
+        Delta {
+            cells: self.cells.clone(),
+        }
+    }
+
+    /// Clones into an existing delta, **reusing its buffer capacity** —
+    /// the copy a recycled arena buffer wants (no allocation once the
+    /// buffer has grown to steady-state size).
+    fn clone_from(&mut self, source: &Delta) {
+        self.cells.clone_from(&source.cells);
+    }
 }
 
 impl Delta {
@@ -130,12 +156,40 @@ impl Delta {
         Delta::default()
     }
 
+    /// Creates an empty partial state with room for `capacity` cells.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Delta {
+        Delta {
+            cells: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Removes every binding, **retaining the allocated capacity** so the
+    /// buffer can be recycled without touching the heap.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+
+    /// The index of `cell` in the sorted vector, or the insertion point.
+    #[inline]
+    fn find(&self, cell: Cell) -> Result<usize, usize> {
+        self.cells.binary_search_by(|&(c, _)| c.cmp(&cell))
+    }
+
     /// Binds `cell` fully to `value`, returning the previous fully-bound
     /// value if there was one.
     pub fn set(&mut self, cell: Cell, value: u64) -> Option<u64> {
-        self.cells
-            .insert(cell, MaskedVal::full(value))
-            .and_then(|m| m.is_full().then_some(m.value))
+        match self.find(cell) {
+            Ok(i) => {
+                let old = self.cells[i].1;
+                self.cells[i].1 = MaskedVal::full(value);
+                old.is_full().then_some(old.value)
+            }
+            Err(i) => {
+                self.cells.insert(i, (cell, MaskedVal::full(value)));
+                None
+            }
+        }
     }
 
     /// Overwrites the masked bytes of `cell` (newest-wins merge with any
@@ -145,11 +199,10 @@ impl Delta {
             return;
         }
         let new = MaskedVal::partial(value, mask);
-        let merged = match self.cells.get(&cell) {
-            Some(&old) => old.overwrite_with(new),
-            None => new,
-        };
-        self.cells.insert(cell, merged);
+        match self.find(cell) {
+            Ok(i) => self.cells[i].1 = self.cells[i].1.overwrite_with(new),
+            Err(i) => self.cells.insert(i, (cell, new)),
+        }
     }
 
     /// Records the masked bytes of `cell` *only where not already bound*
@@ -160,36 +213,34 @@ impl Delta {
             return;
         }
         let new = MaskedVal::partial(value, mask);
-        let merged = match self.cells.get(&cell) {
-            Some(&old) => old.backfill_with(new),
-            None => new,
-        };
-        self.cells.insert(cell, merged);
+        match self.find(cell) {
+            Ok(i) => self.cells[i].1 = self.cells[i].1.backfill_with(new),
+            Err(i) => self.cells.insert(i, (cell, new)),
+        }
     }
 
     /// The fully-bound value of `cell` (`None` if absent or partial).
     #[must_use]
     pub fn get(&self, cell: Cell) -> Option<u64> {
-        self.cells
-            .get(&cell)
+        self.get_masked(cell)
             .and_then(|m| m.is_full().then_some(m.value))
     }
 
     /// The masked binding of `cell`, if any.
     #[must_use]
     pub fn get_masked(&self, cell: Cell) -> Option<MaskedVal> {
-        self.cells.get(&cell).copied()
+        self.find(cell).ok().map(|i| self.cells[i].1)
     }
 
     /// Whether `cell` has any bound byte.
     #[must_use]
     pub fn contains(&self, cell: Cell) -> bool {
-        self.cells.contains_key(&cell)
+        self.find(cell).is_ok()
     }
 
     /// Removes a binding, returning it if present.
     pub fn remove(&mut self, cell: Cell) -> Option<u64> {
-        self.cells.remove(&cell).map(|m| m.value)
+        self.find(cell).ok().map(|i| self.cells.remove(i).1.value)
     }
 
     /// Number of bound cells.
@@ -207,25 +258,25 @@ impl Delta {
     /// Iterates over fully- and partially-bound cells as
     /// `(cell, masked value)` in cell order.
     pub fn iter_masked(&self) -> impl Iterator<Item = (Cell, MaskedVal)> + '_ {
-        self.cells.iter().map(|(&c, &m)| (c, m))
+        self.cells.iter().copied()
     }
 
     /// Iterates over `(cell, value)` bindings in cell order. Partial
     /// bindings yield their value with unbound bytes as zero.
     pub fn iter(&self) -> impl Iterator<Item = (Cell, u64)> + '_ {
-        self.cells.iter().map(|(&c, &m)| (c, m.value))
+        self.cells.iter().map(|&(c, m)| (c, m.value))
     }
 
     /// Number of bound *memory* cells (useful for bandwidth accounting).
     #[must_use]
     pub fn mem_cells(&self) -> usize {
-        self.cells.keys().filter(|c| c.is_mem()).count()
+        self.cells.iter().filter(|(c, _)| c.is_mem()).count()
     }
 
     /// Number of bound *register* cells.
     #[must_use]
     pub fn reg_cells(&self) -> usize {
-        self.cells.keys().filter(|c| c.is_reg()).count()
+        self.cells.iter().filter(|(c, _)| c.is_reg()).count()
     }
 
     /// Superimposition `self ← other`: a new delta containing every binding
@@ -322,7 +373,7 @@ impl Delta {
         } else {
             (other, self)
         };
-        probe.cells.keys().any(|c| index.cells.contains_key(c))
+        probe.cells.iter().any(|&(c, _)| index.contains(c))
     }
 
     /// The cells bound in both `self` and `other`, in `self`'s cell
@@ -330,27 +381,38 @@ impl Delta {
     /// a cell-granular answer is conservative and cheap.
     pub fn intersecting_cells<'a>(&'a self, other: &'a Delta) -> impl Iterator<Item = Cell> + 'a {
         self.cells
-            .keys()
-            .copied()
-            .filter(|c| other.cells.contains_key(c))
+            .iter()
+            .map(|&(c, _)| c)
+            .filter(|&c| other.contains(c))
     }
 }
 
 impl FromIterator<(Cell, u64)> for Delta {
     fn from_iter<I: IntoIterator<Item = (Cell, u64)>>(iter: I) -> Delta {
-        Delta {
-            cells: iter
-                .into_iter()
-                .map(|(c, v)| (c, MaskedVal::full(v)))
-                .collect(),
-        }
+        let mut cells: Vec<(Cell, MaskedVal)> = iter
+            .into_iter()
+            .map(|(c, v)| (c, MaskedVal::full(v)))
+            .collect();
+        // Stable sort + keep-last dedup reproduces map-insert semantics
+        // (the latest binding for a repeated cell wins).
+        cells.sort_by_key(|&(c, _)| c);
+        cells.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                *earlier = *later;
+                true
+            } else {
+                false
+            }
+        });
+        Delta { cells }
     }
 }
 
 impl Extend<(Cell, u64)> for Delta {
     fn extend<I: IntoIterator<Item = (Cell, u64)>>(&mut self, iter: I) {
-        self.cells
-            .extend(iter.into_iter().map(|(c, v)| (c, MaskedVal::full(v))));
+        for (c, v) in iter {
+            self.set(c, v);
+        }
     }
 }
 

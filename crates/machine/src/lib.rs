@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 mod cell;
 mod delta;
 mod exec;
@@ -46,6 +47,7 @@ mod seq;
 mod state;
 mod trace;
 
+pub use arena::DeltaArena;
 pub use cell::Cell;
 pub use delta::{expand_mask, Delta, MaskedVal};
 pub use exec::{step, Fault, MemAccess, StepInfo};

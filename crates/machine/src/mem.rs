@@ -4,12 +4,57 @@
 //! write. Unwritten memory reads as zero, which keeps the sequential
 //! reference machine total and deterministic even when a mis-steered MSSP
 //! slave wanders into unmapped addresses.
+//!
+//! # Layout for multi-threaded readers
+//!
+//! The threaded executor shares one base snapshot across every worker
+//! while the coordinator keeps mutating its own architected copy, so two
+//! properties matter beyond the single-threaded case:
+//!
+//! * **Pages are cache-line aligned.** [`Page`] is `#[repr(align(64))]`,
+//!   which (a) keeps page data from straddling a line boundary shared
+//!   with unrelated heap objects and (b) pushes the `Arc` refcount
+//!   header onto its *own* line — a coordinator bumping refcounts while
+//!   cloning a snapshot never write-shares a line with workers streaming
+//!   page data.
+//! * **The page table is striped.** Pages are spread across
+//!   [`STRIPES`] independent, line-padded hash maps keyed by the low
+//!   bits of the page index, so concurrent readers of *different* pages
+//!   walk different map allocations instead of contending on one table's
+//!   buckets.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Words per page (4 KiB pages).
 const PAGE_WORDS: u64 = 512;
+
+/// Number of independent page-table stripes (power of two).
+const STRIPES: usize = 8;
+
+/// One 4 KiB page, aligned to a cache line so the page data — and the
+/// `Arc` header in front of it — never share a line with neighbours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[repr(align(64))]
+struct Page {
+    words: [u64; PAGE_WORDS as usize],
+}
+
+impl Page {
+    fn zeroed() -> Page {
+        Page {
+            words: [0; PAGE_WORDS as usize],
+        }
+    }
+}
+
+/// One page-table stripe, padded to a cache line so adjacent stripes can
+/// be touched by different threads without false sharing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[repr(align(64))]
+struct Stripe {
+    pages: HashMap<u64, Arc<Page>>,
+}
 
 /// Sparse 64-bit-word-addressed memory with zero-fill semantics.
 ///
@@ -30,9 +75,17 @@ const PAGE_WORDS: u64 = 512;
 /// m.store(123, 0xABCD);
 /// assert_eq!(m.load(123), 0xABCD);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparseMem {
-    pages: HashMap<u64, Arc<Vec<u64>>>,
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for SparseMem {
+    fn default() -> SparseMem {
+        SparseMem {
+            stripes: std::array::from_fn(|_| Stripe::default()),
+        }
+    }
 }
 
 impl SparseMem {
@@ -42,22 +95,29 @@ impl SparseMem {
         SparseMem::default()
     }
 
+    #[inline]
+    fn stripe_of(page_idx: u64) -> usize {
+        (page_idx as usize) & (STRIPES - 1)
+    }
+
     /// Loads the word at word index `widx` (zero if never written).
     #[must_use]
     pub fn load(&self, widx: u64) -> u64 {
-        match self.pages.get(&(widx / PAGE_WORDS)) {
-            Some(page) => page[(widx % PAGE_WORDS) as usize],
+        let page_idx = widx / PAGE_WORDS;
+        match self.stripes[Self::stripe_of(page_idx)].pages.get(&page_idx) {
+            Some(page) => page.words[(widx % PAGE_WORDS) as usize],
             None => 0,
         }
     }
 
     /// Stores `value` at word index `widx`.
     pub fn store(&mut self, widx: u64, value: u64) {
-        let page = self
+        let page_idx = widx / PAGE_WORDS;
+        let page = self.stripes[Self::stripe_of(page_idx)]
             .pages
-            .entry(widx / PAGE_WORDS)
-            .or_insert_with(|| Arc::new(vec![0; PAGE_WORDS as usize]));
-        Arc::make_mut(page)[(widx % PAGE_WORDS) as usize] = value;
+            .entry(page_idx)
+            .or_insert_with(|| Arc::new(Page::zeroed()));
+        Arc::make_mut(page).words[(widx % PAGE_WORDS) as usize] = value;
     }
 
     /// Copies a byte image into memory starting at byte address `base`.
@@ -91,7 +151,7 @@ impl SparseMem {
     /// Number of resident (allocated) pages.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.stripes.iter().map(|s| s.pages.len()).sum()
     }
 
     /// Number of pages physically shared (same allocation) with `other`.
@@ -103,20 +163,29 @@ impl SparseMem {
     /// O(pages written since the last snapshot), not O(total state).
     #[must_use]
     pub fn shared_pages_with(&self, other: &SparseMem) -> usize {
-        self.pages
+        self.stripes
             .iter()
-            .filter(|(k, p)| other.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
-            .count()
+            .zip(other.stripes.iter())
+            .map(|(a, b)| {
+                a.pages
+                    .iter()
+                    .filter(|(k, p)| b.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Iterates over all words ever written (including those re-written to
     /// zero), as `(word_index, value)` pairs in unspecified order.
     pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.pages.iter().flat_map(|(p, page)| {
-            let base = p * PAGE_WORDS;
-            page.iter()
-                .enumerate()
-                .map(move |(i, &v)| (base + i as u64, v))
+        self.stripes.iter().flat_map(|s| {
+            s.pages.iter().flat_map(|(p, page)| {
+                let base = p * PAGE_WORDS;
+                page.words
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &v)| (base + i as u64, v))
+            })
         })
     }
 }
@@ -192,5 +261,32 @@ mod tests {
         let mut m = SparseMem::new();
         m.write_image(0, b"abcdefghij");
         assert_eq!(m.read_bytes(2, 6), b"cdefgh");
+    }
+
+    #[test]
+    fn pages_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<Page>(), 64);
+        assert_eq!(std::mem::align_of::<Stripe>(), 64);
+        // The Arc payload itself lands on a line boundary, which forces
+        // the refcount header onto the preceding (separate) line.
+        let mut m = SparseMem::new();
+        m.store(0, 1);
+        let page = m.stripes[0].pages.get(&0).unwrap();
+        assert_eq!(Arc::as_ptr(page) as usize % 64, 0);
+    }
+
+    #[test]
+    fn striping_spreads_consecutive_pages() {
+        let mut m = SparseMem::new();
+        for p in 0..STRIPES as u64 {
+            m.store(p * PAGE_WORDS, 1);
+        }
+        for s in &m.stripes {
+            assert_eq!(
+                s.pages.len(),
+                1,
+                "consecutive pages land on distinct stripes"
+            );
+        }
     }
 }

@@ -1,0 +1,218 @@
+//! Differential suite for the ring-based threaded executor.
+//!
+//! The lock-free rebuild (per-worker SPSC task rings, one MPSC result
+//! ring, arena-recycled deltas, a pooled committed-view per task) must
+//! be observationally identical to the discrete [`Engine`]: same final
+//! state, same committed instruction count, same squash-reason
+//! histogram, at 1/2/4/8 workers. The fixtures here are chosen to lean
+//! on exactly the machinery the rebuild touched:
+//!
+//! * a **memory recurrence** — every task's live-ins include a cell the
+//!   *previous* task wrote, so correctness hinges on the pooled
+//!   committed-view delta shipped with each spawn (a stale or
+//!   mis-recycled view is an instant live-in squash or, worse, a wrong
+//!   committed value);
+//! * a **long run** far past `MAX_PENDING_DELTAS`, cycling snapshot
+//!   materialization, commit-log compaction, and arena recycling many
+//!   times;
+//! * an **adversarial master** asserting the wrong branch arm, driving
+//!   squash/recovery (and its buffer-reclamation paths) under real
+//!   thread interleavings.
+//!
+//! `cross_check_commits` replays every verify/commit decision through
+//! the shared `verify_and_commit` oracle in-run and panics on any
+//! divergence — so a pass here certifies each decision, not just the
+//! end state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mssp::core::{run_threaded, EngineConfig, EngineStats, UnitCost};
+use mssp::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn squash_histogram(stats: &EngineStats) -> [u64; 4] {
+    [
+        stats.squashes_wrong_path,
+        stats.squashes_live_in,
+        stats.squashes_overrun,
+        stats.squashes_fault,
+    ]
+}
+
+/// Runs `program` under both executors at every worker count and
+/// asserts full observational equivalence against the sequential
+/// machine and each other.
+fn assert_differential(program: &Program, d: &Distilled, label: &str) {
+    let mut seq = SeqMachine::boot(program);
+    seq.run(u64::MAX).expect("fixture halts");
+
+    for slaves in WORKER_COUNTS {
+        let reference = Engine::new(
+            program,
+            d,
+            EngineConfig {
+                num_slaves: slaves,
+                ..EngineConfig::default()
+            },
+            UnitCost,
+        )
+        .run()
+        .expect("engine terminates");
+
+        let cfg = EngineConfig {
+            num_slaves: slaves,
+            cross_check_commits: true,
+            ..EngineConfig::default()
+        };
+        let run = run_threaded(program, d, cfg).expect("threaded terminates");
+
+        // State: threaded == engine == sequential, including memory.
+        assert_eq!(
+            run.state.reg(Reg::S1),
+            seq.state().reg(Reg::S1),
+            "{label}: s1, {slaves} workers"
+        );
+        assert_eq!(run.state.pc(), seq.state().pc(), "{label}: pc");
+        let sp = seq.state().reg(Reg::SP);
+        for w in ((sp - 64) >> 3)..(sp >> 3) {
+            assert_eq!(
+                run.state.load_word(w),
+                seq.state().load_word(w),
+                "{label}: stack word {w}, {slaves} workers"
+            );
+        }
+        assert_eq!(run.state.reg(Reg::S1), reference.state.reg(Reg::S1));
+
+        // Commit counts, in instruction terms.
+        assert_eq!(
+            run.stats.committed_instructions,
+            seq.instructions(),
+            "{label}: committed instructions, {slaves} workers"
+        );
+        assert_eq!(
+            run.stats.committed_instructions,
+            reference.stats.committed_instructions
+        );
+
+        // Squash-reason histogram: forced by architected state, which
+        // both executors walk identically.
+        assert_eq!(
+            squash_histogram(&run.stats),
+            squash_histogram(&reference.stats),
+            "{label}: squash histogram, {slaves} workers"
+        );
+    }
+}
+
+#[test]
+fn memory_recurrence_flows_through_the_committed_view() {
+    // Each iteration reads -8(sp) written by the previous one: every
+    // task's live-ins include its predecessor's freshest write, which
+    // the worker can only have observed through the pooled committed
+    // view shipped at dispatch.
+    let program = assemble(
+        "main:  addi s0, zero, 400
+         loop:  ld   t0, -8(sp)
+                add  t0, t0, s0
+                sd   t0, -8(sp)
+                add  s1, s1, t0
+                addi s0, s0, -1
+                bnez s0, loop
+                halt",
+    )
+    .unwrap();
+    let profile = Profile::collect(&program, u64::MAX).unwrap();
+    let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
+    assert_differential(&program, &d, "memory recurrence");
+}
+
+#[test]
+fn long_run_cycles_snapshots_compaction_and_arena_recycling() {
+    // Thousands of commits: far past MAX_PENDING_DELTAS, so the
+    // coordinator materializes snapshots, compacts the commit log, and
+    // recycles pooled deltas hundreds of times over.
+    let program = assemble(
+        "main:  addi s0, zero, 3000
+         loop:  add  s1, s1, s0
+                mul  t0, s0, s0
+                add  s1, s1, t0
+                sd   s1, -8(sp)
+                addi s0, s0, -1
+                bnez s0, loop
+                halt",
+    )
+    .unwrap();
+    let profile = Profile::collect(&program, u64::MAX).unwrap();
+    let d = distill(&program, &profile, &DistillConfig::default()).unwrap();
+    let mut seq = SeqMachine::boot(&program);
+    seq.run(u64::MAX).unwrap();
+
+    for slaves in WORKER_COUNTS {
+        let cfg = EngineConfig {
+            num_slaves: slaves,
+            ..EngineConfig::default()
+        };
+        let run = run_threaded(&program, &d, cfg).expect("terminates");
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        // The run must actually have exercised the snapshot/delta cycle.
+        assert!(
+            run.stats.snapshots_materialized > 2,
+            "{slaves} workers: expected repeated materialization, got {:?}",
+            run.stats
+        );
+        assert!(run.stats.deltas_published > run.stats.snapshots_materialized);
+    }
+}
+
+#[test]
+fn adversarial_master_squashes_identically_across_executors() {
+    // The master asserts the odd arm unconditionally — wrong whenever
+    // the original takes the even arm — driving constant squash and
+    // recovery through the ring/arena reclamation paths.
+    let program = assemble(
+        "main:  addi s0, zero, 300
+         loop:  andi t0, s0, 1
+                beqz t0, even
+                addi s1, s1, 3
+                j    next
+         even:  addi s1, s1, 7
+         next:  sd   s1, -16(sp)
+                addi s0, s0, -1
+                bnez s0, loop
+                halt",
+    )
+    .unwrap();
+    let wrong = assemble(
+        "main:  addi s0, zero, 300
+         loop:  addi s1, s1, 3
+                addi s0, s0, -1
+                j    loop",
+    )
+    .unwrap();
+    let mut map = BTreeMap::new();
+    map.insert(program.entry(), wrong.entry());
+    map.insert(
+        program.symbol("loop").unwrap(),
+        wrong.symbol("loop").unwrap(),
+    );
+    let d = Distilled::from_parts(
+        wrong,
+        BTreeSet::from([program.symbol("loop").unwrap()]),
+        map,
+    );
+    let mut seq = SeqMachine::boot(&program);
+    seq.run(u64::MAX).unwrap();
+    // The fixture must be squash-heavy for the comparison to mean much.
+    let probe = run_threaded(
+        &program,
+        &d,
+        EngineConfig {
+            num_slaves: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(probe.stats.squashed_tasks > 0, "fixture must squash");
+    assert_differential(&program, &d, "adversarial master");
+}
