@@ -1,0 +1,44 @@
+//! Leak and double-free accounting for model executions.
+//!
+//! A [`Tracked`] value registers itself with the execution when created on
+//! a model thread and reports its drop. Because ids travel *with the bytes*
+//! (a `Tracked` is `Copy`-free but a buggy ring can still duplicate it by
+//! reading a slot twice), the checker observes exactly the failure modes
+//! that matter for slot recycling:
+//!
+//! * the same id dropped twice → **double free** (a slot was handed out
+//!   while still owned, e.g. a tail published before the read),
+//! * an id never dropped by the end of a clean execution → **leak**
+//!   (a slot overwritten without dropping its occupant).
+//!
+//! Outside a model execution a `Tracked` is inert (id 0, no accounting).
+
+use crate::exec::with_op;
+
+/// A payload whose lifetime the checker audits. Use as the element type in
+/// model-check harnesses wherever the stress suite would count drops.
+#[derive(Debug)]
+pub struct Tracked {
+    id: u64,
+    /// Free-form label included in failure messages.
+    pub label: &'static str,
+}
+
+impl Tracked {
+    /// Allocate a tracked value (registers with the current execution when
+    /// called on a model thread).
+    pub fn new(label: &'static str) -> Tracked {
+        let id = with_op("Tracked::new", |op| op.ex().leak_alloc(label)).unwrap_or(0);
+        Tracked { id, label }
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            // `None` (outside the model / abort unwind): the execution is
+            // being torn down and leak accounting no longer applies.
+            let _ = with_op("Tracked::drop", |op| op.ex().leak_free(self.id));
+        }
+    }
+}

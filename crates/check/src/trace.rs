@@ -1,0 +1,211 @@
+//! Schedules as data: every nondeterministic choice the checker makes is
+//! recorded as a [`Decision`], so a failing execution is a value — it can
+//! be printed, parsed back, and replayed exactly.
+
+use std::fmt;
+
+/// What kind of choice a decision point was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Which thread runs the next operation. `current_runnable` records
+    /// whether option 0 was "keep running the current thread", in which
+    /// case any other choice costs one preemption against the bound.
+    Schedule {
+        /// True when the previously running thread was itself schedulable.
+        current_runnable: bool,
+    },
+    /// Which store a (relaxed) atomic load observes. Option 0 is the
+    /// newest store; any other choice is a stale read and costs one
+    /// against the stale-read bound.
+    Value,
+}
+
+/// One recorded choice: `chosen` out of `options` (only choice points with
+/// more than one option are recorded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Index of the selected option.
+    pub chosen: u32,
+    /// How many options existed at this point.
+    pub options: u32,
+    /// What was being decided.
+    pub kind: DecisionKind,
+}
+
+/// A complete schedule: the decision sequence of one execution.
+///
+/// The `Display` form is a single self-describing token — e.g.
+/// `mssp-check-v1:S1/2,s0/3,v2/3` — where `S` is a schedule decision whose
+/// non-zero choices are preemptions, `s` a schedule decision where the
+/// current thread was not runnable (a forced or free switch), and `v` a
+/// value (stale-read) decision. [`Trace::parse`] inverts it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The recorded decisions, in execution order.
+    pub decisions: Vec<Decision>,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mssp-check-v1:")?;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            let tag = match d.kind {
+                DecisionKind::Schedule {
+                    current_runnable: true,
+                } => 'S',
+                DecisionKind::Schedule {
+                    current_runnable: false,
+                } => 's',
+                DecisionKind::Value => 'v',
+            };
+            write!(f, "{tag}{}/{}", d.chosen, d.options)?;
+        }
+        Ok(())
+    }
+}
+
+impl Trace {
+    /// Parse a trace printed by `Display`. Returns `None` on malformed
+    /// input (wrong version tag, bad token shape, chosen ≥ options).
+    pub fn parse(s: &str) -> Option<Trace> {
+        let body = s.trim().strip_prefix("mssp-check-v1:")?;
+        let mut decisions = Vec::new();
+        if body.is_empty() {
+            return Some(Trace { decisions });
+        }
+        for tok in body.split(',') {
+            let mut chars = tok.chars();
+            let kind = match chars.next()? {
+                'S' => DecisionKind::Schedule {
+                    current_runnable: true,
+                },
+                's' => DecisionKind::Schedule {
+                    current_runnable: false,
+                },
+                'v' => DecisionKind::Value,
+                _ => return None,
+            };
+            let rest = chars.as_str();
+            let (c, o) = rest.split_once('/')?;
+            let chosen: u32 = c.parse().ok()?;
+            let options: u32 = o.parse().ok()?;
+            if chosen >= options || options < 2 {
+                return None;
+            }
+            decisions.push(Decision {
+                chosen,
+                options,
+                kind,
+            });
+        }
+        Some(Trace { decisions })
+    }
+}
+
+/// Why an execution failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unsynchronized conflicting accesses to a non-atomic location.
+    DataRace,
+    /// No thread can run, but some are blocked (parked / lock / condvar /
+    /// join) — a lost wakeup or lock cycle.
+    Deadlock,
+    /// A tracked allocation was never dropped by the end of the execution.
+    Leak,
+    /// A tracked allocation was dropped twice (e.g. a ring slot recycled
+    /// while still owned).
+    DoubleFree,
+    /// A model thread panicked (assertion failure inside the harness).
+    Panic,
+    /// Replay diverged from the recorded schedule — the harness is
+    /// nondeterministic outside the checker's control (time, I/O, maps
+    /// with random iteration order).
+    NondeterministicReplay,
+    /// The runtime watchdog fired: a model thread stopped reaching
+    /// schedule points (a livelock outside shim operations).
+    Stalled,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::DataRace => "data race",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Leak => "leak",
+            FailureKind::DoubleFree => "double free",
+            FailureKind::Panic => "panic",
+            FailureKind::NondeterministicReplay => "nondeterministic replay",
+            FailureKind::Stalled => "stalled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A counterexample: the failure, the exact schedule that produced it,
+/// and the tail of the per-operation log for human consumption.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable detail (threads, locations, values involved).
+    pub message: String,
+    /// The schedule to feed back into [`crate::replay`].
+    pub trace: Trace,
+    /// The last operations executed before the failure, oldest first
+    /// (bounded; for reading, not replaying).
+    pub recent_ops: Vec<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(f, "  replayable trace: {}", self.trace)?;
+        writeln!(f, "  last {} operations:", self.recent_ops.len())?;
+        for op in &self.recent_ops {
+            writeln!(f, "    {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_through_display_and_parse() {
+        let t = Trace {
+            decisions: vec![
+                Decision {
+                    chosen: 1,
+                    options: 2,
+                    kind: DecisionKind::Schedule {
+                        current_runnable: true,
+                    },
+                },
+                Decision {
+                    chosen: 0,
+                    options: 3,
+                    kind: DecisionKind::Schedule {
+                        current_runnable: false,
+                    },
+                },
+                Decision {
+                    chosen: 2,
+                    options: 3,
+                    kind: DecisionKind::Value,
+                },
+            ],
+        };
+        let s = t.to_string();
+        assert_eq!(s, "mssp-check-v1:S1/2,s0/3,v2/3");
+        assert_eq!(Trace::parse(&s), Some(t));
+        assert_eq!(Trace::parse("mssp-check-v1:"), Some(Trace::default()));
+        assert_eq!(Trace::parse("garbage"), None);
+        assert_eq!(Trace::parse("mssp-check-v1:x1/2"), None);
+        assert_eq!(Trace::parse("mssp-check-v1:S2/2"), None);
+    }
+}

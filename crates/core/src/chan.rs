@@ -12,7 +12,12 @@
 //! is gone.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+// The Mutex/Condvar pair comes through the `sync` seam so the model
+// checker (feature `model-check`) can explore the wakeup orderings; the
+// production build re-exports plain `std::sync` types.
+use crate::sync::{Condvar, Mutex};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -127,6 +132,20 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut inner = self.shared.inner.lock().expect("channel poisoned");
         loop {
+            #[cfg(feature = "model-check")]
+            if crate::mutation::armed(&crate::mutation::CHAN_DISCONNECT_BEFORE_DRAIN) {
+                // Deliberately-broken mutant for the checker's teeth
+                // tests: testing disconnection first loses a final
+                // message that arrived with the closing notification.
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                inner = self.shared.ready.wait(inner).expect("channel poisoned");
+                continue;
+            }
             // Drain before disconnect — see above.
             if let Some(value) = inner.queue.pop_front() {
                 return Ok(value);

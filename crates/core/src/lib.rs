@@ -45,8 +45,11 @@ pub mod chan;
 mod cost;
 mod engine;
 mod master;
+#[cfg(feature = "model-check")]
+pub mod mutation;
 mod refinement;
 pub mod ring;
+mod sync;
 mod task;
 mod threaded;
 

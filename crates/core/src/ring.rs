@@ -20,18 +20,26 @@
 //!
 //! Memory ordering is acquire/release only on the ring proper; the sole
 //! `SeqCst` operations are the two fences in the doorbell's sleep/wake
-//! handshake. DESIGN.md §6c gives the full argument.
+//! handshake. DESIGN.md §6c gives the full argument, §6d the per-site
+//! table; every `Ordering::` use below carries a `// why:` note that
+//! `tools/ordering_audit.rs` enforces.
 //!
 //! Disconnect semantics match `std::sync::mpsc`: dropping all senders
 //! makes the receiver drain remaining items and then report
 //! [`TryRecvError::Disconnected`]; dropping the receiver makes sends
 //! fail and hands the items back.
+//!
+//! All atomics, cells, and thread primitives come from [`crate::sync`],
+//! so with the `model-check` feature the whole module runs under the
+//! `mssp-check` deterministic scheduler (see `crates/check`).
 
-use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::thread::{self, Thread};
+
+use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::thread::{self, Thread};
 
 /// Error for non-blocking receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +74,30 @@ pub struct SendError<T>(pub T);
 /// either the consumer's re-check observes the push, or the producer's
 /// load observes `sleeping == true` and unparks. An unpark that races
 /// ahead of the park is absorbed by `park`'s token.
+///
+/// `crates/check/tests/model_check.rs` proves both directions: the
+/// handshake as written admits no lost wakeup in the explored space,
+/// and weakening the fences (the `DOORBELL_FENCE_ACQREL` mutation)
+/// produces a replayable deadlock counterexample.
 #[derive(Debug, Default)]
 struct Doorbell {
     sleeping: AtomicBool,
     sleeper: OnceLock<Thread>,
+}
+
+/// The doorbell's Dekker fence, shared by both sides of the handshake.
+fn handshake_fence() {
+    #[cfg(feature = "model-check")]
+    if crate::mutation::armed(&crate::mutation::DOORBELL_FENCE_ACQREL) {
+        // Deliberately-broken mutant for the checker's teeth tests.
+        fence(Ordering::AcqRel); // why: seeded mutation; see crate::mutation
+        return;
+    }
+    // why: SeqCst totally orders the consumer's sleeping-store → ring
+    // re-check against the producer's publish → sleeping-load (a Dekker /
+    // StoreLoad pattern); AcqRel fences would let both sides read stale
+    // values and lose the wakeup.
+    fence(Ordering::SeqCst);
 }
 
 impl Doorbell {
@@ -78,26 +106,36 @@ impl Doorbell {
     /// [`Doorbell::sleep`].
     fn prepare_sleep(&self) {
         self.sleeper.get_or_init(thread::current);
+        // why: Relaxed suffices; ordering against the producer's load is
+        // provided by the SeqCst handshake fence on the next line.
         self.sleeping.store(true, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
+        handshake_fence();
     }
 
     /// Consumer side: park until rung (or spuriously; callers loop).
     fn sleep(&self) {
         thread::park();
+        // why: Relaxed; clearing our own flag after waking publishes no
+        // payload — the next prepare_sleep re-fences before it matters.
         self.sleeping.store(false, Ordering::Relaxed);
     }
 
     /// Consumer side: withdraw a `prepare_sleep` without parking.
     fn cancel_sleep(&self) {
+        // why: Relaxed; a spurious extra unpark from a racing producer is
+        // absorbed by the park token, so no ordering is required here.
         self.sleeping.store(false, Ordering::Relaxed);
     }
 
     /// Producer side: wake the consumer if it is (about to be) asleep.
     /// Callers must have already published their payload.
     fn ring(&self) {
-        fence(Ordering::SeqCst);
+        handshake_fence();
+        // why: Relaxed; the handshake fence above already orders this load
+        // after our payload publish, which is all the protocol needs.
         if self.sleeping.load(Ordering::Relaxed) {
+            // why: Relaxed; clearing the flag only suppresses redundant
+            // unparks from other producers, it is not a sync edge.
             self.sleeping.store(false, Ordering::Relaxed);
             if let Some(t) = self.sleeper.get() {
                 t.unpark();
@@ -163,10 +201,11 @@ unsafe impl<T: Send> Sync for SpscShared<T> {}
 impl<T> Drop for SpscShared<T> {
     fn drop(&mut self) {
         // Exclusive access: drop every in-flight item.
+        let mask = self.mask;
         let head = *self.head.get_mut();
         let mut tail = *self.tail.get_mut();
         while tail != head {
-            unsafe { (*self.buf[tail & self.mask].get()).assume_init_drop() };
+            unsafe { self.buf[tail & mask].get_mut().assume_init_drop() };
             tail = tail.wrapping_add(1);
         }
     }
@@ -212,6 +251,19 @@ pub fn spsc<T: Send>(cap: usize) -> (SpscSender<T>, SpscReceiver<T>) {
     )
 }
 
+/// Ordering for the consumer's load of the producer's published `head`.
+fn publish_load_ordering() -> Ordering {
+    #[cfg(feature = "model-check")]
+    if crate::mutation::armed(&crate::mutation::RELAXED_PUBLISH_LOAD) {
+        // Deliberately-broken mutant for the checker's teeth tests.
+        return Ordering::Relaxed; // why: seeded mutation; see crate::mutation
+    }
+    // why: Acquire pairs with the producer's Release store of `head`,
+    // making every slot payload written before that publish visible to
+    // the consumer's subsequent slot reads.
+    Ordering::Acquire
+}
+
 impl<T: Send> SpscSender<T> {
     fn capacity(&self) -> usize {
         self.shared.mask + 1
@@ -219,8 +271,8 @@ impl<T: Send> SpscSender<T> {
 
     /// True once the consumer has been dropped.
     fn disconnected(&self) -> bool {
-        // The consumer sets `closed` on drop; Acquire pairs with that
-        // Release so we also see its final `tail`.
+        // why: Acquire pairs with the consumer's Release `closed` store on
+        // drop, so we also observe its final published `tail`.
         self.shared.closed.load(Ordering::Acquire) && Arc::strong_count(&self.shared) == 1
     }
 
@@ -229,18 +281,22 @@ impl<T: Send> SpscSender<T> {
         if self.head.wrapping_sub(self.cached_tail) < self.capacity() {
             return true;
         }
+        // why: Acquire pairs with the consumer's Release `tail` store,
+        // ordering its last payload read before our reuse of the slot.
         self.cached_tail = self.shared.tail.load(Ordering::Acquire);
         self.head.wrapping_sub(self.cached_tail) < self.capacity()
     }
 
     /// Write one slot and advance the local head (no release store yet).
     fn write_slot(&mut self, value: T) {
-        unsafe { (*self.shared.buf[self.head & self.shared.mask].get()).write(value) };
+        self.shared.buf[self.head & self.shared.mask].with_mut(|p| unsafe { (*p).write(value) });
         self.head = self.head.wrapping_add(1);
     }
 
     /// Publish every slot written so far and wake the consumer.
     fn publish(&self) {
+        // why: Release publishes the slot writes above to the consumer's
+        // Acquire load of `head` (the payload's only synchronization edge).
         self.shared.head.store(self.head, Ordering::Release);
         self.shared.bell.ring();
     }
@@ -276,27 +332,84 @@ impl<T: Send> SpscSender<T> {
         }
     }
 
-    /// Send a batch with a single publish (one release store, one bell
-    /// ring) per ring-capacity chunk. Blocks while full; on disconnect
-    /// the remaining items (including `first_unsent`) are dropped.
-    pub fn send_batch<I: IntoIterator<Item = T>>(&mut self, items: I) -> Result<(), SendError<()>> {
+    /// Non-blocking batched send: moves items from the front of `queue`
+    /// into the ring until the ring is full or the queue is empty, with
+    /// a single publish (one release store, one bell ring) for the
+    /// whole transfer.
+    ///
+    /// # Partial-progress contract
+    ///
+    /// Returns `Ok(n)` with exactly the first `n` items transferred and
+    /// every unsent item still in `queue`, front order preserved. A
+    /// full ring is not an error — `Ok(0)` just means "retry after the
+    /// consumer drains". Returns [`TrySendError::Disconnected`] only
+    /// when the receiver was already gone on entry, with the queue left
+    /// fully intact for the caller to reclaim; this call never drops
+    /// items. (Items accepted by an earlier `Ok(n)` live in the ring
+    /// and are dropped with it if the consumer never picks them up.)
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Disconnected`] when the receiver has been
+    /// dropped; the queue is untouched.
+    pub fn try_send_batch(&mut self, queue: &mut VecDeque<T>) -> Result<usize, TrySendError<()>> {
+        if self.disconnected() {
+            return Err(TrySendError::Disconnected(()));
+        }
+        let mut sent = 0;
+        while !queue.is_empty() && self.has_space() {
+            let item = queue.pop_front().expect("checked non-empty");
+            self.write_slot(item);
+            sent += 1;
+        }
+        if sent > 0 {
+            self.publish();
+        }
+        Ok(sent)
+    }
+
+    /// Blocking batched send with a single publish per ring-capacity
+    /// chunk: flushes what fits, spins (with yields) while the ring is
+    /// full, and resumes until the whole batch is in the ring.
+    ///
+    /// # Partial-progress contract
+    ///
+    /// A full ring never drops items — written slots are published so
+    /// the consumer can drain, then the send resumes. On disconnect the
+    /// error hands back every item not yet transferred to the ring
+    /// (the one in hand plus everything left in the iterator), in
+    /// order; items already transferred are dropped with the ring.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] carrying the unsent remainder when the receiver
+    /// has been dropped.
+    pub fn send_batch<I: IntoIterator<Item = T>>(
+        &mut self,
+        items: I,
+    ) -> Result<(), SendError<VecDeque<T>>> {
+        let mut items = items.into_iter();
         let mut wrote = false;
-        for item in items {
-            while !self.has_space() {
+        for item in items.by_ref() {
+            let mut item = Some(item);
+            loop {
+                if self.disconnected() {
+                    let mut rest: VecDeque<T> = VecDeque::new();
+                    rest.extend(item.take());
+                    rest.extend(items);
+                    return Err(SendError(rest));
+                }
+                if self.has_space() {
+                    break;
+                }
                 if wrote {
                     // Let the consumer see what we have before spinning.
                     self.publish();
                     wrote = false;
                 }
-                if self.disconnected() {
-                    return Err(SendError(()));
-                }
                 thread::yield_now();
             }
-            if self.disconnected() {
-                return Err(SendError(()));
-            }
-            self.write_slot(item);
+            self.write_slot(item.take().expect("item pending"));
             wrote = true;
         }
         if wrote {
@@ -308,6 +421,9 @@ impl<T: Send> SpscSender<T> {
 
 impl<T> Drop for SpscSender<T> {
     fn drop(&mut self) {
+        // why: Release orders our final slot publish before the `closed`
+        // flag, pairing with the consumer's Acquire in its drain-on-
+        // disconnect re-check so the last items are not lost.
         self.shared.closed.store(true, Ordering::Release);
         self.shared.bell.ring();
     }
@@ -319,31 +435,49 @@ impl<T: Send> SpscReceiver<T> {
         if self.cached_head != self.tail {
             return true;
         }
-        self.cached_head = self.shared.head.load(Ordering::Acquire);
+        self.cached_head = self.shared.head.load(publish_load_ordering());
         self.cached_head != self.tail
     }
 
     fn read_slot(&mut self) -> T {
-        let v =
-            unsafe { (*self.shared.buf[self.tail & self.shared.mask].get()).assume_init_read() };
+        let v = self.shared.buf[self.tail & self.shared.mask]
+            .with(|p| unsafe { (*p).assume_init_read() });
         self.tail = self.tail.wrapping_add(1);
+        v
+    }
+
+    /// Read one visible slot and hand it back to the producer.
+    fn take_slot(&mut self) -> T {
+        #[cfg(feature = "model-check")]
+        if crate::mutation::armed(&crate::mutation::EARLY_TAIL_PUBLISH) {
+            // Deliberately-broken mutant: frees the slot before reading
+            // it, so the producer may overwrite a live payload.
+            self.shared
+                .tail
+                // why: seeded mutation; see crate::mutation
+                .store(self.tail.wrapping_add(1), Ordering::Release);
+            return self.read_slot();
+        }
+        let v = self.read_slot();
+        // why: Release orders the payload read above before the producer's
+        // Acquire `tail` load in `has_space`, so the slot is only reused
+        // after its previous value has been fully taken.
+        self.shared.tail.store(self.tail, Ordering::Release);
         v
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
         if self.refresh() {
-            let v = self.read_slot();
-            self.shared.tail.store(self.tail, Ordering::Release);
-            return Ok(v);
+            return Ok(self.take_slot());
         }
+        // why: Acquire pairs with the producer's Release `closed` store on
+        // drop, ordering us after its final publish for the re-check below.
         if self.shared.closed.load(Ordering::Acquire) {
             // The close store is ordered after the producer's final
             // publish; re-check so a push racing the drop is not lost.
             if self.refresh() {
-                let v = self.read_slot();
-                self.shared.tail.store(self.tail, Ordering::Release);
-                return Ok(v);
+                return Ok(self.take_slot());
             }
             return Err(TryRecvError::Disconnected);
         }
@@ -359,6 +493,8 @@ impl<T: Send> SpscReceiver<T> {
                 Err(TryRecvError::Empty) => {
                     self.shared.bell.prepare_sleep();
                     // Re-check after announcing sleep (see Doorbell).
+                    // why: Acquire on `closed` pairs with the producer-drop
+                    // Release so a disconnect racing the park is seen here.
                     if self.refresh() || self.shared.closed.load(Ordering::Acquire) {
                         self.shared.bell.cancel_sleep();
                         continue;
@@ -370,7 +506,15 @@ impl<T: Send> SpscReceiver<T> {
     }
 
     /// Drain up to `max` immediately-visible items into `out` with a
-    /// single tail publish. Returns how many were moved (possibly 0).
+    /// single tail publish.
+    ///
+    /// # Partial-progress contract
+    ///
+    /// Returns how many items were moved; `0` is not an error (the ring
+    /// may simply be empty — distinguish disconnect via
+    /// [`SpscReceiver::try_recv`]). Every moved item is appended to
+    /// `out` before the tail publish hands the freed slots back, so a
+    /// producer can never overwrite an undelivered item.
     pub fn recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max && self.refresh() {
@@ -378,6 +522,8 @@ impl<T: Send> SpscReceiver<T> {
             n += 1;
         }
         if n > 0 {
+            // why: Release, same edge as `take_slot`: payload reads above
+            // happen-before the producer's Acquire reuse of the slots.
             self.shared.tail.store(self.tail, Ordering::Release);
         }
         n
@@ -388,7 +534,10 @@ impl<T> Drop for SpscReceiver<T> {
     fn drop(&mut self) {
         // Publish the final tail so `SpscShared::drop` (run by whichever
         // side is dropped last) frees exactly the in-flight items.
+        // why: Release orders our last payload reads before the handoff.
         self.shared.tail.store(self.tail, Ordering::Release);
+        // why: Release pairs with the producer's Acquire in
+        // `disconnected()`, which must see the final `tail` with the flag.
         self.shared.closed.store(true, Ordering::Release);
     }
 }
@@ -430,11 +579,12 @@ unsafe impl<T: Send> Sync for MpscShared<T> {}
 
 impl<T> Drop for MpscShared<T> {
     fn drop(&mut self) {
+        let mask = self.mask;
         let mut pos = *self.tail.get_mut();
         loop {
-            let slot = &mut self.buf[pos & self.mask];
+            let slot = &mut self.buf[pos & mask];
             if *slot.seq.get_mut() == pos.wrapping_add(1) {
-                unsafe { (*slot.val.get()).assume_init_drop() };
+                unsafe { slot.val.get_mut().assume_init_drop() };
                 pos = pos.wrapping_add(1);
             } else {
                 break;
@@ -485,25 +635,37 @@ pub fn mpsc<T: Send>(cap: usize) -> (MpscSender<T>, MpscReceiver<T>) {
 impl<T: Send> MpscSender<T> {
     /// Non-blocking send.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        // why: Acquire pairs with the receiver-drop Release of `closed`,
+        // ordering us after its final `tail` so slot state is consistent.
         if self.shared.closed.load(Ordering::Acquire) {
             return Err(TrySendError::Disconnected(value));
         }
         let shared = &*self.shared;
         let cap = shared.mask + 1;
+        // why: Relaxed; `head` is only a ticket hint here — the slot's
+        // `seq` (Acquire, below) is what transfers slot ownership.
         let mut pos = shared.head.load(Ordering::Relaxed);
         loop {
             let slot = &shared.buf[pos & shared.mask];
+            // why: Acquire pairs with the consumer's Release `seq` store
+            // freeing the slot, ordering its payload read of the previous
+            // lap before our overwrite.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos {
                 // Slot free this lap: claim the ticket.
                 match shared.head.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
+                    // why: Relaxed; winning the ticket publishes nothing —
+                    // the payload is published by the `seq` Release below.
                     Ordering::Relaxed,
+                    // why: Relaxed; the failure value only re-seeds the loop.
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        unsafe { (*slot.val.get()).write(value) };
+                        slot.val.with_mut(|p| unsafe { (*p).write(value) });
+                        // why: Release publishes the payload write above to
+                        // the consumer's Acquire `seq` load.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         shared.bell.ring();
                         return Ok(());
@@ -515,6 +677,7 @@ impl<T: Send> MpscSender<T> {
                 return Err(TrySendError::Full(value));
             } else {
                 // Another producer claimed this ticket; chase the head.
+                // why: Relaxed; same ticket-hint role as the initial load.
                 pos = shared.head.load(Ordering::Relaxed);
             }
         }
@@ -538,6 +701,8 @@ impl<T: Send> MpscSender<T> {
 
 impl<T> Clone for MpscSender<T> {
     fn clone(&self) -> MpscSender<T> {
+        // why: Relaxed; like Arc::clone, creating a handle from an existing
+        // one needs no ordering — the handle itself proves count >= 1.
         self.shared.senders.fetch_add(1, Ordering::Relaxed);
         MpscSender {
             shared: Arc::clone(&self.shared),
@@ -547,6 +712,10 @@ impl<T> Clone for MpscSender<T> {
 
 impl<T> Drop for MpscSender<T> {
     fn drop(&mut self) {
+        // why: AcqRel, like Arc::drop — Release orders this sender's final
+        // publishes before the count reaching 0; Acquire on the last drop
+        // orders it after every *other* sender's publishes, so the
+        // receiver's disconnect re-check sees all final items.
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.shared.bell.ring();
         }
@@ -557,11 +726,17 @@ impl<T: Send> MpscReceiver<T> {
     fn pop_visible(&mut self) -> Option<T> {
         let shared = &*self.shared;
         let slot = &shared.buf[self.tail & shared.mask];
+        // why: Acquire pairs with the producer's Release `seq` store,
+        // making the slot payload visible before we read it.
         if slot.seq.load(Ordering::Acquire) == self.tail.wrapping_add(1) {
-            let v = unsafe { (*slot.val.get()).assume_init_read() };
+            let v = slot.val.with(|p| unsafe { (*p).assume_init_read() });
             slot.seq
+                // why: Release orders our payload read before the next-lap
+                // producer's Acquire claim of this slot.
                 .store(self.tail.wrapping_add(shared.mask + 1), Ordering::Release);
             self.tail = self.tail.wrapping_add(1);
+            // why: Relaxed; the shared `tail` is bookkeeping for the final
+            // Drop (which owns the struct exclusively), not a sync edge.
             shared.tail.store(self.tail, Ordering::Relaxed);
             return Some(v);
         }
@@ -573,6 +748,8 @@ impl<T: Send> MpscReceiver<T> {
         if let Some(v) = self.pop_visible() {
             return Ok(v);
         }
+        // why: Acquire pairs with each sender-drop's AcqRel `fetch_sub`;
+        // seeing 0 orders us after every sender's final publish.
         if self.shared.senders.load(Ordering::Acquire) == 0 {
             // Senders may have published right before dropping; the
             // Acquire above orders us after their final stores.
@@ -594,7 +771,11 @@ impl<T: Send> MpscReceiver<T> {
                     self.shared.bell.prepare_sleep();
                     let shared = &*self.shared;
                     let slot = &shared.buf[self.tail & shared.mask];
+                    // why: Acquire on `seq`, as in `pop_visible`: this is
+                    // the post-prepare_sleep re-check of the same edge.
                     let visible = slot.seq.load(Ordering::Acquire) == self.tail.wrapping_add(1);
+                    // why: Acquire on `senders`, as in `try_recv`: a
+                    // disconnect racing the park must be observed here.
                     if visible || shared.senders.load(Ordering::Acquire) == 0 {
                         shared.bell.cancel_sleep();
                         continue;
@@ -605,8 +786,15 @@ impl<T: Send> MpscReceiver<T> {
         }
     }
 
-    /// Drain up to `max` immediately-visible items into `out`. Returns
-    /// how many were moved (possibly 0).
+    /// Drain up to `max` immediately-visible items into `out`.
+    ///
+    /// # Partial-progress contract
+    ///
+    /// Returns how many items were moved; `0` is not an error (empty vs
+    /// disconnected is distinguished via [`MpscReceiver::try_recv`]).
+    /// Each slot is freed (its `seq` released) only after its payload
+    /// has been appended to `out`, so producers can never overwrite an
+    /// undelivered item.
     pub fn recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
@@ -624,7 +812,10 @@ impl<T: Send> MpscReceiver<T> {
 
 impl<T> Drop for MpscReceiver<T> {
     fn drop(&mut self) {
+        // why: Relaxed; final-Drop bookkeeping only (see `pop_visible`).
         self.shared.tail.store(self.tail, Ordering::Relaxed);
+        // why: Release pairs with the producers' Acquire `closed` load in
+        // `try_send`, ordering our final slot releases before the flag.
         self.shared.closed.store(true, Ordering::Release);
     }
 }
@@ -726,6 +917,58 @@ mod tests {
         drop(tx);
         let got = h.join().unwrap();
         assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spsc_try_send_batch_partial_progress_on_full() {
+        // Capacity 4 ring, 7 queued items: exactly 4 transfer, 3 stay
+        // queued in order; after a partial drain the retry moves more.
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        let mut q: VecDeque<u32> = (0..7).collect();
+        assert_eq!(tx.try_send_batch(&mut q), Ok(4));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(
+            tx.try_send_batch(&mut q),
+            Ok(0),
+            "full ring is not an error"
+        );
+        assert_eq!(rx.try_recv(), Ok(0));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send_batch(&mut q), Ok(2));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![6]);
+        let mut out = Vec::new();
+        rx.recv_batch(&mut out, 100);
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(tx.try_send_batch(&mut q), Ok(1));
+        assert!(q.is_empty());
+        assert_eq!(rx.try_recv(), Ok(6));
+    }
+
+    #[test]
+    fn spsc_try_send_batch_disconnect_keeps_queue() {
+        let (mut tx, rx) = spsc::<u32>(4);
+        drop(rx);
+        let mut q: VecDeque<u32> = (0..3).collect();
+        assert_eq!(
+            tx.try_send_batch(&mut q),
+            Err(TrySendError::Disconnected(()))
+        );
+        assert_eq!(
+            q.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "disconnect must not drop queued items"
+        );
+    }
+
+    #[test]
+    fn spsc_send_batch_disconnect_hands_back_remainder() {
+        let (mut tx, rx) = spsc::<u32>(4);
+        drop(rx);
+        let err = tx.send_batch(0..5).unwrap_err();
+        assert_eq!(
+            err.0.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -860,7 +1103,7 @@ mod tests {
         let (mut tx, mut rx) = spsc::<u32>(4);
         let h = thread::spawn(move || rx.recv());
         if !cfg!(miri) {
-            thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(std::time::Duration::from_millis(20));
         }
         tx.send(42).unwrap();
         assert_eq!(h.join().unwrap(), Ok(42));

@@ -365,6 +365,27 @@ fn flush_commits(arch: &mut MachineState, log: &CommitLog, applied_seq: &mut u64
     arch.set_pc(virt_pc);
 }
 
+/// Non-blocking dispatch of every per-worker outbox into its ring, one
+/// publish per worker. Relies on [`SpscSender::try_send_batch`]'s
+/// partial-progress contract: a short send (full ring) leaves the unsent
+/// tasks queued — in order, none dropped — for the caller's next flush.
+///
+/// # Errors
+///
+/// [`ThreadedError::WorkerDied`] when a worker's ring is disconnected;
+/// the undispatched tasks stay in their outbox for the caller to unwind.
+fn flush_outboxes<T: Send>(
+    outboxes: &mut [VecDeque<T>],
+    txs: &mut [SpscSender<T>],
+) -> Result<(), ThreadedError> {
+    for (queue, tx) in outboxes.iter_mut().zip(txs.iter_mut()) {
+        if !queue.is_empty() && tx.try_send_batch(queue).is_err() {
+            return Err(ThreadedError::WorkerDied);
+        }
+    }
+    Ok(())
+}
+
 /// Returns a result's delta buffers to the arena (stale epoch, squash).
 fn recycle_result(arena: &mut DeltaArena, r: WorkResult) {
     let WorkResult { mut task, view, .. } = r;
@@ -470,6 +491,9 @@ pub fn run_threaded(
         // Shut down regardless of outcome: stragglers abandon at the next
         // epoch poll, closed rings end both loops, and joining here
         // consumes any panic so the scope does not re-raise it.
+        // why: Relaxed; the epoch is an advisory abandon hint — correctness
+        // comes from the epoch tag carried inside each message, and the
+        // ring close below is what actually ends the loops.
         current_epoch.store(u64::MAX, Ordering::Relaxed);
         drop(work_txs);
         drop(ctrl_tx);
@@ -530,6 +554,10 @@ fn worker_loop(
         // polls the epoch so squashed work is dropped at entry, at
         // boundary crossings, and every 64 instructions.
         let end = task.run_segment_with_view(original, &base, committed, &rules, || {
+            // why: Relaxed; a stale read only delays the abandon by one
+            // poll interval — squash correctness rests on the coordinator
+            // discarding results whose epoch tag mismatches, not on when
+            // the worker notices.
             current_epoch.load(Ordering::Relaxed) != epoch
         });
         let failed = match end {
@@ -708,7 +736,7 @@ fn coordinate(
     // so a linear scan beats a map and reuses its capacity forever.
     let mut done: Vec<(u64, WorkResult)> = Vec::new();
     let mut inbox: Vec<CoordMsg> = Vec::with_capacity(DRAIN_BATCH);
-    let mut outbox: Vec<Vec<WorkItem>> = work_txs.iter().map(|_| Vec::new()).collect();
+    let mut outbox: Vec<VecDeque<WorkItem>> = work_txs.iter().map(|_| VecDeque::new()).collect();
     let mut next_worker = 0usize;
     let mut master_stalled = false;
     let mut halted = false;
@@ -780,7 +808,7 @@ fn coordinate(
                             arena.take(),
                             arena.take(),
                         );
-                        outbox[next_worker].push(WorkItem {
+                        outbox[next_worker].push_back(WorkItem {
                             epoch,
                             base: Arc::clone(&base),
                             view,
@@ -797,11 +825,12 @@ fn coordinate(
                 }
             }
             // Batched dispatch: one ring publish per worker per drain.
-            for (box_, tx) in outbox.iter_mut().zip(work_txs.iter_mut()) {
-                if !box_.is_empty() && tx.send_batch(box_.drain(..)).is_err() {
-                    return Err(ThreadedError::WorkerDied);
-                }
-            }
+            // Short sends (full ring) keep the unsent tasks queued for the
+            // next drain instead of blocking here or dropping them; a full
+            // ring means that worker already holds a ring-capacity backlog,
+            // so its next result is guaranteed to wake this loop for the
+            // retry.
+            flush_outboxes(&mut outbox, work_txs)?;
         }
 
         // 2. Verify/commit in order.
@@ -935,6 +964,8 @@ fn coordinate(
                         SquashReason::Fault => stats.squashes_fault += 1,
                     }
                     epoch += 1;
+                    // why: Relaxed; advisory squash hint — stale results
+                    // are filtered by their message epoch tag regardless.
                     current_epoch.store(epoch, Ordering::Relaxed);
                     in_flight.clear();
                     arena.put(view);
@@ -996,6 +1027,8 @@ fn coordinate(
             // Fresh generation: stale spawns/stalls from the old master
             // must not leak into the reseeded run.
             epoch += 1;
+            // why: Relaxed; advisory recovery-generation hint — stale
+            // spawns/results are filtered by their message epoch tag.
             current_epoch.store(epoch, Ordering::Relaxed);
             master_stalled = false;
             for (_, r) in done.drain(..) {
@@ -1108,6 +1141,61 @@ mod tests {
 
     fn delta(pairs: &[(Cell, u64)]) -> Delta {
         pairs.iter().copied().collect()
+    }
+
+    /// Regression test for the outbox dispatch contract: a short send
+    /// (full worker ring) must keep every undispatched task queued in
+    /// order, and a later flush must deliver them — nothing dropped,
+    /// nothing reordered. (Before `try_send_batch`, the coordinator's
+    /// `send_batch(box_.drain(..))` destroyed the queued tasks whenever
+    /// the send ended early.)
+    #[test]
+    fn outbox_flush_survives_full_ring_without_dropping() {
+        let (tx_a, mut rx_a) = ring::spsc::<u32>(4);
+        let (tx_b, mut rx_b) = ring::spsc::<u32>(4);
+        let mut txs = vec![tx_a, tx_b];
+        let mut outboxes: Vec<VecDeque<u32>> = vec![(0..7).collect(), (100..103).collect()];
+
+        // First flush: worker A's ring fills at 4, worker B's takes all 3.
+        flush_outboxes(&mut outboxes, &mut txs).unwrap();
+        assert_eq!(
+            outboxes[0].iter().copied().collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert!(outboxes[1].is_empty());
+
+        // A second flush against the still-full ring is a no-op, not a loss.
+        flush_outboxes(&mut outboxes, &mut txs).unwrap();
+        assert_eq!(outboxes[0].len(), 3);
+
+        // Worker A drains; the next flush delivers the retained tasks.
+        let mut got = Vec::new();
+        rx_a.recv_batch(&mut got, 100);
+        flush_outboxes(&mut outboxes, &mut txs).unwrap();
+        assert!(outboxes[0].is_empty());
+        rx_a.recv_batch(&mut got, 100);
+        assert_eq!(got, (0..7).collect::<Vec<_>>(), "FIFO across short sends");
+        let mut got_b = Vec::new();
+        rx_b.recv_batch(&mut got_b, 100);
+        assert_eq!(got_b, (100..103).collect::<Vec<_>>());
+    }
+
+    /// A disconnected worker ring surfaces as `WorkerDied` and leaves the
+    /// outbox contents intact for the caller to unwind.
+    #[test]
+    fn outbox_flush_reports_dead_worker_and_keeps_tasks() {
+        let (tx, rx) = ring::spsc::<u32>(4);
+        drop(rx);
+        let mut txs = vec![tx];
+        let mut outboxes: Vec<VecDeque<u32>> = vec![(0..3).collect()];
+        assert_eq!(
+            flush_outboxes(&mut outboxes, &mut txs),
+            Err(ThreadedError::WorkerDied)
+        );
+        assert_eq!(
+            outboxes[0].iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
