@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use mssp_isa::Program;
+use mssp_isa::{Program, Reg};
 use mssp_machine::{SeqError, SeqMachine, StepInfo};
 
 /// Outcome counts for one conditional branch site.
@@ -77,6 +77,13 @@ pub struct Profile {
     loaded_words: BTreeSet<u64>,
     /// Per-store-PC footprint of written word indices.
     store_words: BTreeMap<u64, BTreeSet<u64>>,
+    /// Slice feedback: registers whose live-in values the run-time
+    /// predictor flagged as hard to predict (observed in live-in
+    /// mismatch squashes).
+    hard_live_ins: BTreeSet<Reg>,
+    /// Slice feedback: architected PCs where wrong-path squashes landed
+    /// (the master's asserted control flow departed from reality here).
+    wrong_path_pcs: BTreeSet<u64>,
 }
 
 impl Profile {
@@ -214,6 +221,38 @@ impl Profile {
             Some(words) => words.iter().all(|w| !self.loaded_words.contains(w)),
             None => false, // never executed: leave it to cold-code elision
         }
+    }
+
+    /// Marks a register as a hard-to-predict live-in (squash feedback
+    /// from a previous MSSP run; consumed by the distiller's slice pass).
+    pub fn mark_hard_live_in(&mut self, reg: Reg) {
+        self.hard_live_ins.insert(reg);
+    }
+
+    /// Marks an architected PC where a wrong-path squash landed (squash
+    /// feedback from a previous MSSP run; consumed by the slice pass).
+    pub fn mark_wrong_path(&mut self, pc: u64) {
+        self.wrong_path_pcs.insert(pc);
+    }
+
+    /// Registers flagged as hard-to-predict live-ins.
+    #[must_use]
+    pub fn hard_live_ins(&self) -> &BTreeSet<Reg> {
+        &self.hard_live_ins
+    }
+
+    /// Architected PCs of observed wrong-path squashes.
+    #[must_use]
+    pub fn wrong_path_pcs(&self) -> &BTreeSet<u64> {
+        &self.wrong_path_pcs
+    }
+
+    /// Whether any slice feedback is present. When `false`, the
+    /// distiller's pre-computation slice pass is a no-op, so profiles
+    /// without feedback distill exactly as before.
+    #[must_use]
+    pub fn has_slice_feedback(&self) -> bool {
+        !self.hard_live_ins.is_empty() || !self.wrong_path_pcs.is_empty()
     }
 
     /// The average bias of all executed conditional branches, weighted by

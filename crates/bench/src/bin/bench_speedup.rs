@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! bench_speedup [--json] [--out PATH] [--scale-div N] [--min-speedup X]
+//!               [--max-squash-per-1k X] [--min-squash-improvement X]
 //! ```
 //!
 //! * `--json` — emit JSON (to stdout, or to `--out PATH`); otherwise a
@@ -16,17 +17,28 @@
 //!   (default 1; CI uses a large divisor for speed).
 //! * `--min-speedup X` — exit non-zero if any workload's speedup falls
 //!   below `X`.
+//! * `--max-squash-per-1k X` — exit non-zero if any squash-prone workload
+//!   (one whose attack-off baseline squashes) still squashes more than `X`
+//!   per 1k tasks in the headline run.
+//! * `--min-squash-improvement X` — exit non-zero if any squash-prone
+//!   workload's `baseline / headline` squash-rate ratio falls below `X`.
 
 use std::process::ExitCode;
 
 use mssp_bench::{collect_speedup_records, print_header, render_speedup_json};
 use mssp_stats::{fmt3, geomean, Table};
 
+/// Workloads the squash-rate gates apply to: the squash-prone trio whose
+/// attack-off baseline reliably squashes at every scale CI runs at.
+const SQUASH_GATED: [&str; 3] = ["mcf_like", "vpr_like", "gcc_like"];
+
 struct Args {
     json: bool,
     out: Option<String>,
     scale_div: u64,
     min_speedup: Option<f64>,
+    max_squash_per_1k: Option<f64>,
+    min_squash_improvement: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         scale_div: 1,
         min_speedup: None,
+        max_squash_per_1k: None,
+        min_squash_improvement: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -52,6 +66,20 @@ fn parse_args() -> Result<Args, String> {
                     value("--min-speedup")?
                         .parse()
                         .map_err(|e| format!("--min-speedup: {e}"))?,
+                );
+            }
+            "--max-squash-per-1k" => {
+                args.max_squash_per_1k = Some(
+                    value("--max-squash-per-1k")?
+                        .parse()
+                        .map_err(|e| format!("--max-squash-per-1k: {e}"))?,
+                );
+            }
+            "--min-squash-improvement" => {
+                args.min_squash_improvement = Some(
+                    value("--min-squash-improvement")?
+                        .parse()
+                        .map_err(|e| format!("--min-squash-improvement: {e}"))?,
                 );
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -95,6 +123,9 @@ fn main() -> ExitCode {
             "dyn ratio",
             "dce-only ratio",
             "squash/1k",
+            "sq/1k base",
+            "pred acc",
+            "slices",
         ]);
         for r in &records {
             table.row(vec![
@@ -103,6 +134,9 @@ fn main() -> ExitCode {
                 fmt3(r.dyn_ratio),
                 fmt3(r.dyn_ratio_dce_only),
                 format!("{:.1}", r.squash_per_1k_tasks),
+                format!("{:.1}", r.squash_per_1k_tasks_baseline),
+                fmt3(r.predictor_accuracy),
+                r.slices_emitted.to_string(),
             ]);
         }
         println!("{}", table.render());
@@ -114,8 +148,8 @@ fn main() -> ExitCode {
         println!("geomean dyn ratio (dce):    {:.3}", geomean(&baselines));
     }
 
+    let mut failed = false;
     if let Some(floor) = args.min_speedup {
-        let mut failed = false;
         for r in &records {
             if r.speedup < floor {
                 eprintln!(
@@ -125,9 +159,46 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
-        if failed {
-            return ExitCode::FAILURE;
+    }
+    let gated = records
+        .iter()
+        .filter(|r| SQUASH_GATED.contains(&r.name.as_str()));
+    if let Some(ceiling) = args.max_squash_per_1k {
+        for r in gated.clone() {
+            if r.squash_per_1k_tasks > ceiling {
+                eprintln!(
+                    "bench_speedup: {} squash rate {:.2}/1k above ceiling {:.2}/1k",
+                    r.name, r.squash_per_1k_tasks, ceiling
+                );
+                failed = true;
+            }
         }
+    }
+    if let Some(floor) = args.min_squash_improvement {
+        for r in gated {
+            // A headline rate of zero is infinite improvement; only a
+            // still-squashing run can fall below the floor.
+            let improvement = if r.squash_per_1k_tasks == 0.0 {
+                f64::INFINITY
+            } else {
+                r.squash_per_1k_tasks_baseline / r.squash_per_1k_tasks
+            };
+            if improvement < floor {
+                eprintln!(
+                    "bench_speedup: {} squash improvement {:.2}x \
+                     ({:.2}/1k -> {:.2}/1k) below floor {:.2}x",
+                    r.name,
+                    improvement,
+                    r.squash_per_1k_tasks_baseline,
+                    r.squash_per_1k_tasks,
+                    floor
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

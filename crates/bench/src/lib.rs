@@ -13,10 +13,14 @@
 #![warn(rust_2018_idioms)]
 
 use mssp_analysis::Profile;
+use mssp_core::{EngineConfig, EngineStats, SquashReason, SquashSample};
 use mssp_distill::{distill, DistillConfig, DistillStats, Distilled};
 use mssp_isa::Program;
-use mssp_machine::SeqMachine;
-use mssp_timing::{run_baseline, run_mssp, speedup, BaselineRun, TimingConfig, TimingRun};
+use mssp_machine::{Cell, SeqMachine};
+use mssp_timing::{
+    run_baseline, run_mssp, run_mssp_with_engine_setup, speedup, BaselineRun, TimingConfig,
+    TimingRun,
+};
 use mssp_workloads::{Workload, CHECKSUM_REG, TRAIN_SEED};
 
 /// A complete measurement of one workload under one configuration.
@@ -148,8 +152,18 @@ pub struct SpeedupRecord {
     /// the distiller's behaviour before the optimizing pass pipeline — so
     /// every record carries its own improvement baseline.
     pub dyn_ratio_dce_only: f64,
-    /// Squash events per thousand spawned tasks.
+    /// Squash events per thousand spawned tasks in the headline run
+    /// (slice-feedback distillation, live-in predictor on).
     pub squash_per_1k_tasks: f64,
+    /// The same rate with the squash-rate attack disabled — feedback-free
+    /// distillation (no slices) and the predictor off — so every record
+    /// carries its own squash-rate improvement baseline.
+    pub squash_per_1k_tasks_baseline: f64,
+    /// Verified live-in predictor accuracy in the headline run
+    /// (hits / (hits + misses); `0` when nothing was injected).
+    pub predictor_accuracy: f64,
+    /// Pre-computation slices the feedback distillation emitted.
+    pub slices_emitted: usize,
     /// Static instructions in the original text.
     pub static_original: usize,
     /// Static instructions in the distilled text (default pipeline).
@@ -158,6 +172,14 @@ pub struct SpeedupRecord {
 
 /// Measures every bundled workload at `default_scale / divisor` and
 /// returns one [`SpeedupRecord`] per workload, in bundle order.
+///
+/// Each workload runs the full squash-rate-attack pipeline: a
+/// feedback-free measurement run with the live-in predictor off
+/// establishes the baseline squash rate and collects squash samples,
+/// those samples are threaded back into the profile as slice feedback
+/// ([`apply_slice_feedback`]), and the headline numbers come from a
+/// re-distillation carrying pre-computation slices, run with the
+/// predictor on.
 ///
 /// # Panics
 ///
@@ -174,26 +196,85 @@ pub fn collect_speedup_records(divisor: u64) -> Vec<SpeedupRecord> {
         .iter()
         .map(|w| {
             let scale = harness_scale(w, divisor);
-            let e = evaluate(w, scale, &default_cfg, &tcfg);
-            let base = evaluate(w, scale, &dce_only_cfg, &tcfg);
-            let stats = &e.mssp.run.stats;
-            let squash_per_1k_tasks = if stats.spawned_tasks == 0 {
-                0.0
-            } else {
-                1000.0 * stats.squash_events() as f64 / stats.spawned_tasks as f64
+            let program = w.program(scale);
+            // Attack-off baseline: feedback-free distillation (no
+            // slices), predictor disabled, squash samples recorded.
+            let (distilled_off, mut profile) = prepare(&program, &default_cfg);
+            let off_engine = EngineConfig {
+                enable_predictor: false,
+                ..tcfg.engine
             };
+            let off =
+                run_mssp_with_engine_setup(&program, &distilled_off, &tcfg, off_engine, |e| {
+                    e.enable_squash_samples(512);
+                })
+                .expect("baseline mssp run");
+            let squash_per_1k_tasks_baseline = squash_per_1k_tasks(&off.run.stats);
+            // Thread the observed squashes back as slice feedback and
+            // re-distill: this is where spawn guards and live-in slices
+            // are born.
+            apply_slice_feedback(
+                &mut profile,
+                off.run.squash_samples.as_deref().unwrap_or(&[]),
+            );
+            let distilled = distill(&program, &profile, &default_cfg).expect("distillation");
+            // Headline run: slices + predictor on.
+            let baseline = run_baseline(&program, &tcfg, u64::MAX).expect("baseline runs");
+            let mssp = run_mssp(&program, &distilled, &tcfg).expect("mssp runs");
+            assert_eq!(
+                baseline.state.reg(CHECKSUM_REG),
+                mssp.run.state.reg(CHECKSUM_REG),
+                "{}: checksum mismatch — correctness bug",
+                w.name
+            );
+            let dce = evaluate(w, scale, &dce_only_cfg, &tcfg);
+            let stats = &mssp.run.stats;
             SpeedupRecord {
                 name: w.name.to_string(),
                 scale,
-                speedup: e.speedup,
-                dyn_ratio: dyn_ratio(&e),
-                dyn_ratio_dce_only: dyn_ratio(&base),
-                squash_per_1k_tasks,
-                static_original: e.distill.original_static,
-                static_distilled: e.distill.distilled_static,
+                speedup: speedup(baseline.cycles, mssp.run.cycles),
+                dyn_ratio: stats.master_instructions as f64 / stats.committed_instructions as f64,
+                dyn_ratio_dce_only: dyn_ratio(&dce),
+                squash_per_1k_tasks: squash_per_1k_tasks(stats),
+                squash_per_1k_tasks_baseline,
+                predictor_accuracy: stats.predictor_accuracy(),
+                slices_emitted: distilled.stats().slices_emitted,
+                static_original: distilled.stats().original_static,
+                static_distilled: distilled.stats().distilled_static,
             }
         })
         .collect()
+}
+
+/// Squash events per thousand spawned tasks; `0` for spawn-free runs.
+#[must_use]
+pub fn squash_per_1k_tasks(stats: &EngineStats) -> f64 {
+    if stats.spawned_tasks == 0 {
+        0.0
+    } else {
+        1000.0 * stats.squash_events() as f64 / stats.spawned_tasks as f64
+    }
+}
+
+/// Threads squash observations from a measurement run back into the
+/// profile as slice feedback — the distiller's input for the
+/// pre-computation slice pass. Live-in mismatch register cells become
+/// hard live-ins; wrong-path events record the architected PC the master
+/// failed to predict.
+pub fn apply_slice_feedback(profile: &mut Profile, samples: &[SquashSample]) {
+    for s in samples {
+        match s.reason {
+            SquashReason::LiveInMismatch => {
+                for &(cell, _, _) in &s.cells {
+                    if let Cell::Reg(r) = cell {
+                        profile.mark_hard_live_in(r);
+                    }
+                }
+            }
+            SquashReason::WrongPath => profile.mark_wrong_path(s.arch_pc),
+            SquashReason::Overrun | SquashReason::Fault => {}
+        }
+    }
 }
 
 /// Master-instructions / committed-instructions for one evaluation — the
@@ -215,13 +296,15 @@ pub fn render_speedup_json(records: &[SpeedupRecord], divisor: u64) -> String {
         }
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"mssp-bench-speedup/v1\",\n");
+    out.push_str("  \"schema\": \"mssp-bench-speedup/v2\",\n");
     out.push_str(&format!("  \"scale_divisor\": {divisor},\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"scale\": {}, \"speedup\": {}, \"dyn_ratio\": {}, \
              \"dyn_ratio_dce_only\": {}, \"squash_per_1k_tasks\": {}, \
+             \"squash_per_1k_tasks_baseline\": {}, \"predictor_accuracy\": {}, \
+             \"slices_emitted\": {}, \
              \"static_original\": {}, \"static_distilled\": {}}}{}\n",
             r.name,
             r.scale,
@@ -229,6 +312,9 @@ pub fn render_speedup_json(records: &[SpeedupRecord], divisor: u64) -> String {
             num(r.dyn_ratio),
             num(r.dyn_ratio_dce_only),
             num(r.squash_per_1k_tasks),
+            num(r.squash_per_1k_tasks_baseline),
+            num(r.predictor_accuracy),
+            r.slices_emitted,
             r.static_original,
             r.static_distilled,
             if i + 1 < records.len() { "," } else { "" },
@@ -523,13 +609,19 @@ mod tests {
             dyn_ratio: 0.62,
             dyn_ratio_dce_only: 0.70,
             squash_per_1k_tasks: 3.5,
+            squash_per_1k_tasks_baseline: 7.0,
+            predictor_accuracy: 0.875,
+            slices_emitted: 2,
             static_original: 500,
             static_distilled: 320,
         }];
         let json = render_speedup_json(&records, 16);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\": \"mssp-bench-speedup/v1\""));
+        assert!(json.contains("\"schema\": \"mssp-bench-speedup/v2\""));
         assert!(json.contains("\"dyn_ratio\": 0.620000"));
+        assert!(json.contains("\"squash_per_1k_tasks_baseline\": 7.000000"));
+        assert!(json.contains("\"predictor_accuracy\": 0.875000"));
+        assert!(json.contains("\"slices_emitted\": 2"));
         assert!(json.contains("\"geomean_dyn_ratio_dce_only\": 0.700000"));
         // Balanced braces/brackets — a cheap structural sanity check for
         // the hand-rolled emitter.

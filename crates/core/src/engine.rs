@@ -30,9 +30,10 @@ use std::collections::VecDeque;
 
 use mssp_distill::Distilled;
 use mssp_isa::Program;
-use mssp_machine::{step, Delta, Fault, MachineState};
+use mssp_machine::{step, Cell, Delta, Fault, MachineState};
 
 use crate::master::{Master, MasterStall};
+use crate::predictor::{Predictor, PredictorReport};
 use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus};
 use crate::{CoreRole, CostModel};
 
@@ -74,6 +75,13 @@ pub struct EngineConfig {
     /// it re-clones architected state per task — and therefore off by
     /// default; the discrete [`Engine`] ignores it (it *is* the oracle).
     pub cross_check_commits: bool,
+    /// Live-in value prediction: when a per-(boundary, register) component
+    /// predictor is confident, its value is injected into the spawned
+    /// task's overlay, overriding the master's checkpoint for that cell.
+    /// Injected values are read as live-ins and verified at commit, so a
+    /// wrong prediction costs a squash, never correctness. The predictor
+    /// trains only on architected values observed at verify time.
+    pub enable_predictor: bool,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +97,7 @@ impl Default for EngineConfig {
             throttle_window: 64,
             throttle_duration: 16,
             cross_check_commits: false,
+            enable_predictor: true,
         }
     }
 }
@@ -174,6 +183,12 @@ pub struct EngineStats {
     pub squashes_wrong_path: u64,
     /// Squash events caused by live-in mismatches.
     pub squashes_live_in: u64,
+    /// Of which events where a predictor-injected cell was among the
+    /// mismatches (the predictor guessed wrong).
+    pub squashes_live_in_predicted: u64,
+    /// Of which events with no predictor involvement (the master's
+    /// checkpoint was stale on its own).
+    pub squashes_live_in_stale: u64,
     /// Squash events caused by task overruns.
     pub squashes_overrun: u64,
     /// Squash events caused by task faults.
@@ -226,6 +241,19 @@ pub struct EngineStats {
     /// Commits published to workers as an incremental write delta on the
     /// commit log instead of a fresh snapshot (threaded executor).
     pub deltas_published: u64,
+    /// Live-in cells whose checkpoint value was overridden by the value
+    /// predictor at spawn.
+    pub predictor_overrides: u64,
+    /// Predictor-injected cells that a committed task actually read (the
+    /// prediction survived verification).
+    pub predictor_hits: u64,
+    /// Predictor-injected cells found among the mismatches of a live-in
+    /// squash (the prediction was wrong).
+    pub predictor_misses: u64,
+    /// Spawns the master suppressed because a spawn-guard slice resolved
+    /// an asserted branch against its assertion inside the task window
+    /// (each veto hands the window to a sequential recovery segment).
+    pub spawn_vetoes: u64,
 }
 
 impl EngineStats {
@@ -236,6 +264,20 @@ impl EngineStats {
             0.0
         } else {
             self.wasted_slave_instructions as f64 / self.slave_instructions as f64
+        }
+    }
+
+    /// Fraction of verified predictor injections that turned out correct
+    /// (`hits / (hits + misses)`); `0.0` when nothing was ever verified.
+    /// Never NaN, for the same gate-comparison reason as
+    /// [`EngineStats::recheck_ratio`].
+    #[must_use]
+    pub fn predictor_accuracy(&self) -> f64 {
+        let verified = self.predictor_hits + self.predictor_misses;
+        if verified == 0 {
+            0.0
+        } else {
+            self.predictor_hits as f64 / verified as f64
         }
     }
 
@@ -298,9 +340,15 @@ pub struct MsspRun {
     /// Live-in mismatch samples, if enabled with
     /// [`Engine::enable_mismatch_samples`].
     pub mismatch_samples: Option<Vec<MismatchSample>>,
+    /// All-cause squash samples, if enabled with
+    /// [`Engine::enable_squash_samples`].
+    pub squash_samples: Option<Vec<SquashSample>>,
     /// Committed task sizes, if enabled with
     /// [`Engine::enable_task_size_trace`].
     pub task_sizes: Option<Vec<u64>>,
+    /// Final accuracy summary of the live-in value predictor (all zeros
+    /// when the predictor was disabled or never trained).
+    pub predictor_report: PredictorReport,
 }
 
 /// Engine failure.
@@ -391,6 +439,9 @@ pub struct Engine<'a, C> {
     master_busy_until: u64,
     master_since_spawn: u64,
     last_spawned: Option<u64>,
+    /// Live-in value predictor (see [`Predictor`]); trained only on
+    /// architected values at verify time.
+    predictor: Predictor,
 
     tasks: VecDeque<Task>,
     slaves: Vec<SlaveCtx>,
@@ -409,6 +460,8 @@ pub struct Engine<'a, C> {
     commit_trace: Option<Vec<u64>>,
     /// Live-in mismatch samples, recorded when diagnostics are on.
     mismatch_samples: Option<Vec<MismatchSample>>,
+    /// All-cause squash samples, recorded when diagnostics are on.
+    squash_samples: Option<Vec<SquashSample>>,
     /// Committed task sizes (instructions), recorded when enabled.
     task_sizes: Option<Vec<u64>>,
 }
@@ -421,6 +474,26 @@ pub struct MismatchSample {
     /// Instructions the task had executed.
     pub executed: u64,
     /// Mismatching cells: `(cell, predicted, architected)`.
+    pub cells: Vec<(mssp_machine::Cell, u64, u64)>,
+}
+
+/// A recorded squash event of any cause (diagnostics): what the verify
+/// unit saw when it killed the task window. Richer than
+/// [`MismatchSample`] — wrong-path events carry the architected PC the
+/// master failed to predict, which is what the next-task predictor
+/// trains on.
+#[derive(Debug, Clone)]
+pub struct SquashSample {
+    /// Why the squash happened.
+    pub reason: SquashReason,
+    /// The failing task's start PC (original space).
+    pub task_start_pc: u64,
+    /// The architected PC at squash time (where execution really was).
+    pub arch_pc: u64,
+    /// Instructions the failing task had executed.
+    pub executed: u64,
+    /// Mismatching live-in cells `(cell, predicted, architected)`;
+    /// non-empty only for [`SquashReason::LiveInMismatch`].
     pub cells: Vec<(mssp_machine::Cell, u64, u64)>,
 }
 
@@ -454,6 +527,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
             master_busy_until: 0,
             master_since_spawn: 0,
             last_spawned: None,
+            predictor: Predictor::new(),
             tasks: VecDeque::new(),
             slaves: (0..config.num_slaves)
                 .map(|_| SlaveCtx {
@@ -470,6 +544,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
             stats: EngineStats::default(),
             commit_trace: None,
             mismatch_samples: None,
+            squash_samples: None,
             task_sizes: None,
         }
     }
@@ -484,6 +559,12 @@ impl<'a, C: CostModel> Engine<'a, C> {
     /// events), for distillation diagnostics.
     pub fn enable_mismatch_samples(&mut self, cap: usize) {
         self.mismatch_samples = Some(Vec::with_capacity(cap.min(1024)));
+    }
+
+    /// Enables recording of all-cause squash samples (first `cap` squash
+    /// events), for squash-attribution diagnostics.
+    pub fn enable_squash_samples(&mut self, cap: usize) {
+        self.squash_samples = Some(Vec::with_capacity(cap.min(1024)));
     }
 
     /// Enables recording of the architected PC at every commit point.
@@ -541,6 +622,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 self.advance_time();
             }
         }
+        self.stats.spawn_vetoes += self.master.take_vetoed_spawns();
         Ok((
             MsspRun {
                 cycles: self.now,
@@ -548,7 +630,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 stats: self.stats,
                 commit_trace: self.commit_trace,
                 mismatch_samples: self.mismatch_samples,
+                squash_samples: self.squash_samples,
                 task_sizes: self.task_sizes,
+                predictor_report: self.predictor.report(),
             },
             self.cost,
         ))
@@ -615,6 +699,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
         // architected values and desynchronize by one segment on every
         // squash.)
         if self.master.status() != MasterStall::Active {
+            self.stats.spawn_vetoes += self.master.take_vetoed_spawns();
             self.master = Master::restart_at(self.distilled, end_pc, true, self.arch.clone());
             self.master_busy_until = self.now;
             self.master_since_spawn = 0;
@@ -631,6 +716,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
         };
         // Wrong-path detection does not wait for the task to finish.
         if task.start_pc != self.arch.pc() {
+            self.record_squash_sample(SquashReason::WrongPath, Vec::new());
             self.squash_and_recover(SquashReason::WrongPath);
             return true;
         }
@@ -642,17 +728,51 @@ impl<'a, C: CostModel> Engine<'a, C> {
         }
         match verify_and_commit(&mut self.arch, task, end) {
             VerifyOutcome::Squash(reason) => {
+                let mut mismatch_cells: Vec<(mssp_machine::Cell, u64, u64)> = Vec::new();
                 if reason == SquashReason::LiveInMismatch {
+                    let want_cells = self.mismatch_samples.is_some()
+                        || self.squash_samples.is_some()
+                        || self.config.enable_predictor;
+                    if want_cells {
+                        mismatch_cells = task.live_ins.mismatches_against(&self.arch);
+                    }
                     if let Some(samples) = &mut self.mismatch_samples {
                         if samples.len() < samples.capacity() {
                             samples.push(MismatchSample {
                                 start_pc: task.start_pc,
                                 executed: task.executed,
-                                cells: task.live_ins.mismatches_against(&self.arch),
+                                cells: mismatch_cells.clone(),
                             });
                         }
                     }
+                    // Attribute the event: did a predictor injection
+                    // participate in the failure, or was the master's
+                    // checkpoint stale on its own?
+                    let misses = task
+                        .predicted
+                        .iter()
+                        .filter(|p| mismatch_cells.iter().any(|(c, _, _)| c == *p))
+                        .count() as u64;
+                    if misses > 0 {
+                        self.stats.squashes_live_in_predicted += 1;
+                        self.stats.predictor_misses += misses;
+                    } else {
+                        self.stats.squashes_live_in_stale += 1;
+                    }
+                    if self.config.enable_predictor {
+                        // Train-on-verified-only: the architected side of
+                        // each mismatch is committed truth. Register cells
+                        // only — memory live-in footprints depend on
+                        // executor timing, register live-ins do not.
+                        let start = task.start_pc;
+                        for &(cell, _, arch_value) in &mismatch_cells {
+                            if let Cell::Reg(r) = cell {
+                                self.predictor.train(start, r, arch_value);
+                            }
+                        }
+                    }
                 }
+                self.record_squash_sample(reason, mismatch_cells);
                 self.squash_and_recover(reason);
                 true
             }
@@ -679,6 +799,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 self.stats.live_out_cells += task.writes.len() as u64;
                 self.stats.max_live_in_cells =
                     self.stats.max_live_in_cells.max(task.live_ins.len() as u64);
+                // A predicted cell the committed task actually read is a
+                // verified hit (live-ins all matched, or we wouldn't be
+                // here); injections the task never read are unverified
+                // and count as neither hit nor miss.
+                self.stats.predictor_hits += task
+                    .predicted
+                    .iter()
+                    .filter(|&&c| task.live_ins.contains(c))
+                    .count() as u64;
                 self.master.on_commit(task.id.0);
                 self.slaves[task.slave].task = None;
                 if let Some(trace) = &mut self.commit_trace {
@@ -765,11 +894,30 @@ impl<'a, C: CostModel> Engine<'a, C> {
             let Some(slave) = self.free_slave() else {
                 return false; // stall until a slave frees up
             };
-            let (start, overlay) = self.master.take_spawn(self.last_spawned);
+            let (start, mut overlay) = self.master.take_spawn(self.last_spawned);
             let cells: usize = overlay.first().map(|d| d.len()).unwrap_or(0);
+            let mut predicted: Vec<Cell> = Vec::new();
+            if self.config.enable_predictor {
+                let predictions = self.predictor.predict(start);
+                if !predictions.is_empty() {
+                    // Inject at the overlay front: index 0 wins layered
+                    // reads, so predictions override the master's
+                    // checkpoint for exactly these cells — and, like any
+                    // overlay-sourced read, are recorded as live-ins and
+                    // verified at commit.
+                    let mut delta = Delta::new();
+                    for &(reg, value) in &predictions {
+                        delta.set(Cell::Reg(reg), value);
+                        predicted.push(Cell::Reg(reg));
+                    }
+                    overlay.insert(0, std::sync::Arc::new(delta));
+                    self.stats.predictor_overrides += predictions.len() as u64;
+                }
+            }
             let id = TaskId(self.next_task_id);
             self.next_task_id += 1;
-            let task = Task::new(id, start, slave, overlay);
+            let mut task = Task::new(id, start, slave, overlay);
+            task.predicted = predicted;
             self.tasks.push_back(task);
             let dispatch = self.cost.dispatch_latency(cells);
             self.slaves[slave].task = Some(id);
@@ -800,6 +948,28 @@ impl<'a, C: CostModel> Engine<'a, C> {
     }
 
     // ---- squash & recovery ----------------------------------------------
+
+    fn record_squash_sample(
+        &mut self,
+        reason: SquashReason,
+        cells: Vec<(mssp_machine::Cell, u64, u64)>,
+    ) {
+        let Some(task) = self.tasks.front() else {
+            return;
+        };
+        let (task_start_pc, executed) = (task.start_pc, task.executed);
+        if let Some(samples) = &mut self.squash_samples {
+            if samples.len() < samples.capacity() {
+                samples.push(SquashSample {
+                    reason,
+                    task_start_pc,
+                    arch_pc: self.arch.pc(),
+                    executed,
+                    cells,
+                });
+            }
+        }
+    }
 
     fn squash_and_recover(&mut self, reason: SquashReason) {
         match reason {
@@ -1171,5 +1341,164 @@ mod tests {
             ..EngineStats::default()
         };
         assert_eq!(populated.recheck_ratio(), 0.25);
+    }
+
+    #[test]
+    fn predictor_rescues_commits_from_a_clobbering_master() {
+        // The master clobbers s2 inside the loop while the original
+        // holds it at 9: every checkpoint is wrong on s2, so every task
+        // live-in-mismatches until the last-value predictor saturates on
+        // the constant architected value and overrides the checkpoint at
+        // spawn — from then on tasks commit on the injected prediction.
+        let p = assemble(
+            "main: addi s2, zero, 9
+                   addi s0, zero, 200
+             loop: add  t0, s2, s0
+                   sd   t0, -8(sp)
+                   addi s0, s0, -1
+                   bnez s0, loop
+                   ld   s1, -8(sp)
+                   halt",
+        )
+        .unwrap();
+        let wrong = assemble(
+            "main: addi s2, zero, 9
+                   addi s0, zero, 200
+             loop: addi s2, zero, 77
+                   addi s0, s0, -1
+                   j    loop",
+        )
+        .unwrap();
+        let boundary = p.symbol("loop").unwrap();
+        let d = Distilled::from_parts(
+            wrong.clone(),
+            BTreeSet::from([boundary]),
+            BTreeMap::from([
+                (p.entry(), wrong.entry()),
+                (boundary, wrong.symbol("loop").unwrap()),
+            ]),
+        );
+
+        let run = mssp_run(&p, &d, 4);
+        assert_eq!(run.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+        assert!(
+            run.stats.predictor_hits > 0,
+            "prediction must rescue commits: {:?}",
+            run.stats
+        );
+        assert!(run.stats.predictor_overrides >= run.stats.predictor_hits);
+        assert!(run.stats.squashes_live_in_stale > 0);
+        // Attribution partitions live-in squashes exactly.
+        assert_eq!(
+            run.stats.squashes_live_in,
+            run.stats.squashes_live_in_predicted + run.stats.squashes_live_in_stale
+        );
+        assert!(run.predictor_report.observations > 0);
+        assert!(run.predictor_report.last_value_correct > 0);
+
+        // Same fixture, predictor off: the squash storm runs unchecked.
+        let off = Engine::new(
+            &p,
+            &d,
+            EngineConfig {
+                num_slaves: 4,
+                enable_predictor: false,
+                ..EngineConfig::default()
+            },
+            UnitCost,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(off.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+        assert_eq!(off.stats.predictor_overrides, 0);
+        assert!(
+            off.stats.squashes_live_in > run.stats.squashes_live_in,
+            "off {} vs on {}",
+            off.stats.squashes_live_in,
+            run.stats.squashes_live_in
+        );
+        assert_eq!(off.predictor_report.observations, 0);
+    }
+
+    #[test]
+    fn spawn_guard_vetoes_the_doomed_spawn_at_loop_exit() {
+        use mssp_distill::{Slice, SliceKind};
+        // The master asserts phase A's back-edge forever; once the
+        // architected run moves on to phase B, every further spawn
+        // starts at the A boundary and is a guaranteed wrong-path
+        // squash. The guard re-evaluates the exit condition over the
+        // task window at spawn time and vetoes instead, stalling the
+        // master into sequential recovery — squash avoided, state exact.
+        let p = assemble(
+            "main:  addi s0, zero, 30
+             loopa: addi s1, s1, 1
+                    addi s0, s0, -1
+                    bnez s0, loopa
+                    addi s0, zero, 30
+             loopb: addi s2, s2, 2
+                    addi s0, s0, -1
+                    bnez s0, loopb
+                    halt",
+        )
+        .unwrap();
+        let wrong = assemble(
+            "main:  addi s0, zero, 30
+             loopa: addi s1, s1, 1
+                    addi s0, s0, -1
+                    j    loopa",
+        )
+        .unwrap();
+        let boundary = p.symbol("loopa").unwrap();
+        // loopb is a boundary too (so the architected run keeps crossing
+        // boundaries after the phase transition, exposing the master's
+        // stray loopa spawns as wrong-path) but is deliberately left out
+        // of the master's image: once vetoed/squashed there, the master
+        // goes Lost and starvation recovery carries phase B.
+        let d = Distilled::from_parts(
+            wrong.clone(),
+            BTreeSet::from([boundary, p.symbol("loopb").unwrap()]),
+            BTreeMap::from([
+                (p.entry(), wrong.entry()),
+                (boundary, wrong.symbol("loopa").unwrap()),
+            ]),
+        );
+        let unguarded = mssp_run(&p, &d, 2);
+        assert_eq!(unguarded.state.reg(Reg::S2), seq_state(&p).reg(Reg::S2));
+        assert!(
+            unguarded.stats.squashes_wrong_path > 0,
+            "fixture must be doomed without the guard: {:?}",
+            unguarded.stats
+        );
+
+        // A stride-seeded guard: the bare exit branch with s0 declared
+        // at stride -1 per crossing. Probing absolute crossings (with
+        // lookback, since nothing is fed back) means a master that has
+        // already run past the exit still sees the probe hit zero and
+        // vetoes — a fed-back decrement would count down *through* zero
+        // and miss it.
+        let guard = Slice {
+            kind: SliceKind::SpawnGuard {
+                asserted_taken: true,
+            },
+            program: assemble("main: bnez s0, main").unwrap(),
+            inputs: vec![(Reg::S0, -1)],
+            window: 1,
+            home_pc: boundary + 8,
+        };
+        let d = d.with_slices(BTreeMap::from([(boundary, vec![guard])]));
+        let guarded = mssp_run(&p, &d, 2);
+        assert_eq!(guarded.state.reg(Reg::S1), seq_state(&p).reg(Reg::S1));
+        assert_eq!(guarded.state.reg(Reg::S2), seq_state(&p).reg(Reg::S2));
+        assert_eq!(guarded.state.pc(), seq_state(&p).pc());
+        assert!(
+            guarded.stats.spawn_vetoes > 0,
+            "the guard must veto: {:?}",
+            guarded.stats
+        );
+        assert_eq!(
+            guarded.stats.squashes_wrong_path, 0,
+            "a veto must replace the wrong-path squash: {:?}",
+            guarded.stats
+        );
     }
 }

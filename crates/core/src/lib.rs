@@ -47,6 +47,7 @@ mod engine;
 mod master;
 #[cfg(feature = "model-check")]
 pub mod mutation;
+mod predictor;
 mod refinement;
 pub mod ring;
 mod sync;
@@ -56,9 +57,10 @@ mod threaded;
 pub use cost::{CoreRole, CostModel, UnitCost};
 pub use engine::{
     verify_and_commit, Engine, EngineConfig, EngineError, EngineStats, MismatchSample, MsspRun,
-    SquashReason, VerifyOutcome,
+    SquashReason, SquashSample, VerifyOutcome,
 };
 pub use master::{Master, MasterStall};
+pub use predictor::{Predictor, PredictorReport};
 pub use refinement::{check_refinement, RefinementError};
 pub use task::{
     BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId, TaskStatus, TaskStorage,

@@ -28,9 +28,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use mssp_distill::Distilled;
+use mssp_distill::{Distilled, SliceKind, MAX_SLICE_LEN};
 use mssp_isa::Reg;
-use mssp_machine::{step, Cell, Delta, MachineState, StepInfo, Storage};
+use mssp_machine::{eval_slice, step, Cell, Delta, MachineState, StepInfo, Storage};
 
 /// Why the master is not currently producing predictions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,10 +58,18 @@ pub struct Master {
     instructions: u64,
     /// Boundary crossings since the last spawn trigger.
     crossings: u64,
+    /// Boundary crossings since restart — bounds how far back a spawn
+    /// guard may probe (the restart snapshot is architecturally true, so
+    /// no divergence can predate it).
+    crossings_since_restart: u64,
     /// Crossings that make one task (from the distiller).
     crossings_per_task: u64,
     /// Pending spawn: original-space start PC for the next task.
     pending_spawn: Option<u64>,
+    /// Spawns suppressed by a spawn-guard slice since the last
+    /// [`Master::take_vetoed_spawns`] (each one also marks the master
+    /// lost, handing the window to sequential recovery).
+    vetoed_spawns: u64,
 }
 
 impl Master {
@@ -91,12 +99,14 @@ impl Master {
             status,
             instructions: 0,
             crossings: 0,
+            crossings_since_restart: 0,
             crossings_per_task: distilled.crossings_per_task(),
             pending_spawn: if spawn_first && status == MasterStall::Active {
                 Some(orig_pc)
             } else {
                 None
             },
+            vetoed_spawns: 0,
         }
     }
 
@@ -123,6 +133,11 @@ impl Master {
     #[must_use]
     pub fn live_segment_count(&self) -> usize {
         self.live_segments.len()
+    }
+
+    /// Spawn-guard vetoes since the last call (reset on read).
+    pub fn take_vetoed_spawns(&mut self) -> u64 {
+        std::mem::take(&mut self.vetoed_spawns)
     }
 
     /// Completes a pending spawn: closes the current segment under
@@ -205,12 +220,127 @@ impl Master {
         self.dpc = next;
         if let Some(orig_pc) = distilled.boundary_at_dist(next) {
             self.crossings += 1;
+            self.crossings_since_restart += 1;
             if self.crossings >= self.crossings_per_task {
                 self.crossings = 0;
-                self.pending_spawn = Some(orig_pc);
+                if self.spawn_allowed(distilled, orig_pc) {
+                    self.pending_spawn = Some(orig_pc);
+                } else {
+                    // A guard says the asserted path breaks inside this
+                    // window: spawning would feed verify a doomed task.
+                    // Go lost instead — the engine's recovery machinery
+                    // runs the window sequentially and restarts us.
+                    self.vetoed_spawns += 1;
+                    self.status = MasterStall::Lost;
+                }
             }
         }
         Some(info)
+    }
+
+    /// The master's current value of `r` (cumulative writes over the
+    /// restart snapshot) — the view a spawned task's checkpoint ships.
+    fn view(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.cum
+                .get(Cell::Reg(r))
+                .unwrap_or_else(|| self.base.read_cell(Cell::Reg(r)))
+        }
+    }
+
+    /// Runs the pre-computation slices attached to boundary `orig_pc`.
+    ///
+    /// Spawn guards probe the asserted branch over every crossing of the
+    /// upcoming window (seeding each input with its per-crossing stride);
+    /// any resolution against the asserted direction vetoes the spawn.
+    /// Live-in slices recompute their target from spawn-available values
+    /// and write the result into the *segment only* — correcting the
+    /// checkpoint handed to the new task without perturbing the master's
+    /// own read view. An inconclusive slice (fault, budget) is ignored:
+    /// slices steer performance, never correctness.
+    fn spawn_allowed(&mut self, distilled: &Distilled, orig_pc: u64) -> bool {
+        let slices = distilled.slices_at(orig_pc);
+        if slices.is_empty() {
+            return true;
+        }
+        let budget = MAX_SLICE_LEN as u64 + 1;
+        let mut inputs: Vec<(Reg, u64)> = Vec::new();
+        // Guards first: a vetoed spawn must not ship live-in corrections.
+        for slice in slices {
+            let SliceKind::SpawnGuard { asserted_taken } = slice.kind else {
+                continue;
+            };
+            // Inputs the slice itself redefines (loop induction updates,
+            // pointer-chase loads) are fed back across probes: probe `j+1`
+            // starts from probe `j`'s result. The rest advance by their
+            // statically recovered per-crossing stride.
+            let defs: std::collections::BTreeSet<Reg> = slice
+                .program
+                .iter_pcs()
+                .filter_map(|(_, i)| i.def_reg())
+                .collect();
+            let mut fed: Vec<(Reg, u64)> = slice
+                .inputs
+                .iter()
+                .filter(|&&(r, _)| defs.contains(&r))
+                .map(|&(r, _)| (r, self.view(r)))
+                .collect();
+            // Retrospective probes: the rare path may have fallen *behind*
+            // the master already — an asserted branch deviating at crossing
+            // -k leaves the master silently diverged, and every task it
+            // spawns from here is doomed. Probing the recent past (bounded
+            // by the restart point, which is architecturally true) turns
+            // that into a veto, and the recovery restart heals the
+            // divergence. Only stride-recoverable inputs can rewind;
+            // slices with fed-back inputs probe forward only.
+            let lookback = if fed.is_empty() {
+                slice.window.min(self.crossings_since_restart) as i64
+            } else {
+                0
+            };
+            'probe: for j in -lookback..=slice.window as i64 {
+                inputs.clear();
+                for &(r, stride) in &slice.inputs {
+                    let v = match fed.iter().find(|&&(fr, _)| fr == r) {
+                        Some(&(_, v)) => v,
+                        None => self.view(r).wrapping_add_signed(stride.wrapping_mul(j)),
+                    };
+                    inputs.push((r, v));
+                }
+                let eval = eval_slice(&slice.program, &inputs, budget, |widx| {
+                    self.cum
+                        .get(Cell::Mem(widx))
+                        .unwrap_or_else(|| self.base.read_cell(Cell::Mem(widx)))
+                });
+                let Some(eval) = eval else { break };
+                match eval.taken {
+                    Some(taken) if taken != asserted_taken => return false,
+                    Some(_) => {}
+                    None => break 'probe,
+                }
+                for (r, v) in &mut fed {
+                    *v = eval.reg(*r);
+                }
+            }
+        }
+        for slice in slices {
+            let SliceKind::LiveIn { target } = slice.kind else {
+                continue;
+            };
+            inputs.clear();
+            inputs.extend(slice.inputs.iter().map(|&(r, _)| (r, self.view(r))));
+            let eval = eval_slice(&slice.program, &inputs, budget, |widx| {
+                self.cum
+                    .get(Cell::Mem(widx))
+                    .unwrap_or_else(|| self.base.read_cell(Cell::Mem(widx)))
+            });
+            if let Some(eval) = eval {
+                self.segment.set(Cell::Reg(target), eval.reg(target));
+            }
+        }
+        true
     }
 }
 

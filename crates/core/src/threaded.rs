@@ -101,6 +101,7 @@ use mssp_isa::Program;
 use mssp_machine::{expand_mask, step, Cell, Delta, DeltaArena, MachineState};
 
 use crate::master::{Master, MasterStall};
+use crate::predictor::Predictor;
 use crate::ring::{self, MpscReceiver, MpscSender, SpscReceiver, SpscSender, TryRecvError};
 use crate::task::{BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId};
 use crate::{verify_and_commit, VerifyOutcome};
@@ -505,7 +506,10 @@ pub fn run_threaded(
             }
         }
         match master_handle.join() {
-            Ok(instructions) => stats.master_instructions = instructions,
+            Ok((instructions, vetoes)) => {
+                stats.master_instructions = instructions;
+                stats.spawn_vetoes = vetoes;
+            }
             Err(_) => thread_died = true,
         }
         let state = outcome?;
@@ -584,8 +588,9 @@ fn worker_loop(
 }
 
 /// Master thread body: runs the distilled program and streams spawn
-/// predictions to the coordinator. Returns the total distilled
-/// instruction count across all restarts.
+/// predictions to the coordinator. Returns `(instructions, vetoes)`:
+/// the total distilled instruction count and the spawn-guard veto count,
+/// both summed across all restarts.
 ///
 /// The master self-gates on its own `live_segment_count` (pruned by
 /// [`CtrlMsg::Committed`]), which tracks uncommitted spawned tasks — the
@@ -597,9 +602,12 @@ fn master_thread(
     master_runahead: u64,
     ctrl_rx: &mut SpscReceiver<CtrlMsg>,
     coord_tx: &MpscSender<CoordMsg>,
-) -> u64 {
+) -> (u64, u64) {
     let window = num_slaves * 2;
     let mut total = 0u64;
+    // Guard vetoes are drained from the live master after every run
+    // slice, so restarts and early returns never lose them.
+    let mut vetoes = 0u64;
     let mut cur: Option<(u64, Master)> = None;
     let mut last_spawned: Option<u64> = None;
     let mut next_id = 0u64;
@@ -622,7 +630,7 @@ fn master_thread(
                             .send(CoordMsg::MasterStalled { gen: *gen })
                             .is_err()
                         {
-                            return total;
+                            return (total, vetoes);
                         }
                         stall_reported = true;
                     }
@@ -632,12 +640,12 @@ fn master_thread(
                 match ctrl_rx.try_recv() {
                     Ok(m) => m,
                     Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => return total,
+                    Err(TryRecvError::Disconnected) => return (total, vetoes),
                 }
             } else {
                 match ctrl_rx.recv() {
                     Ok(m) => m,
-                    Err(_) => return total,
+                    Err(_) => return (total, vetoes),
                 }
             };
             match msg {
@@ -681,7 +689,8 @@ fn master_thread(
                     overlay,
                 };
                 if coord_tx.send(spawn).is_err() {
-                    return total;
+                    vetoes += master.take_vetoed_spawns();
+                    return (total, vetoes);
                 }
                 continue;
             }
@@ -695,6 +704,7 @@ fn master_thread(
                 break;
             }
         }
+        vetoes += master.take_vetoed_spawns();
     }
 }
 
@@ -740,6 +750,11 @@ fn coordinate(
     let mut next_worker = 0usize;
     let mut master_stalled = false;
     let mut halted = false;
+    // Live-in value predictor. Trained only on architected mismatch
+    // values at squash time (verified truth), consulted at spawn — the
+    // same train-on-verified-only discipline as the discrete engine, so
+    // per-epoch prediction decisions are deterministic across executors.
+    let mut predictor = Predictor::new();
 
     let boot_restart = CtrlMsg::Restart {
         gen: epoch,
@@ -800,7 +815,25 @@ fn coordinate(
                         in_flight.push_back((id, seq));
                         let mut view = arena.take();
                         view.clone_from(&folded);
-                        let task = Task::with_buffers(
+                        let mut overlay = overlay;
+                        let mut predicted: Vec<Cell> = Vec::new();
+                        if config.enable_predictor {
+                            let predictions = predictor.predict(start_pc);
+                            if !predictions.is_empty() {
+                                // Front of the overlay wins layered reads:
+                                // confident predictions override the
+                                // master's checkpoint and are recorded as
+                                // live-ins, hence verified at commit.
+                                let mut delta = Delta::new();
+                                for &(reg, value) in &predictions {
+                                    delta.set(Cell::Reg(reg), value);
+                                    predicted.push(Cell::Reg(reg));
+                                }
+                                overlay.insert(0, Arc::new(delta));
+                                stats.predictor_overrides += predictions.len() as u64;
+                            }
+                        }
+                        let mut task = Task::with_buffers(
                             TaskId(id),
                             start_pc,
                             next_worker,
@@ -808,6 +841,7 @@ fn coordinate(
                             arena.take(),
                             arena.take(),
                         );
+                        task.predicted = predicted;
                         outbox[next_worker].push_back(WorkItem {
                             epoch,
                             base: Arc::clone(&base),
@@ -914,6 +948,11 @@ fn coordinate(
                     stats.live_in_cells += task.live_ins.len() as u64;
                     stats.live_out_cells += task.writes.len() as u64;
                     let task_id = task.id.0;
+                    stats.predictor_hits += task
+                        .predicted
+                        .iter()
+                        .filter(|&&c| task.live_ins.contains(c))
+                        .count() as u64;
                     pending_cells += task.writes.len();
                     folded.superimpose_in_place(&task.writes);
                     log.push(std::mem::take(&mut task.writes));
@@ -962,6 +1001,33 @@ fn coordinate(
                         SquashReason::LiveInMismatch => stats.squashes_live_in += 1,
                         SquashReason::Overrun => stats.squashes_overrun += 1,
                         SquashReason::Fault => stats.squashes_fault += 1,
+                    }
+                    if reason == SquashReason::LiveInMismatch {
+                        // `arch` is flushed (above), so the mismatch list
+                        // carries verified architected truth — the only
+                        // values the predictor is allowed to train on.
+                        // Register cells only: memory live-in footprints
+                        // depend on executor timing, register ones do not.
+                        let mismatch_cells = task.live_ins.mismatches_against(&arch);
+                        let misses = task
+                            .predicted
+                            .iter()
+                            .filter(|p| mismatch_cells.iter().any(|(c, _, _)| c == *p))
+                            .count() as u64;
+                        if misses > 0 {
+                            stats.squashes_live_in_predicted += 1;
+                            stats.predictor_misses += misses;
+                        } else {
+                            stats.squashes_live_in_stale += 1;
+                        }
+                        if config.enable_predictor {
+                            let start = task.start_pc;
+                            for &(cell, _, arch_value) in &mismatch_cells {
+                                if let Cell::Reg(r) = cell {
+                                    predictor.train(start, r, arch_value);
+                                }
+                            }
+                        }
                     }
                     epoch += 1;
                     // why: Relaxed; advisory squash hint — stale results

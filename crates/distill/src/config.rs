@@ -169,6 +169,11 @@ pub struct DistillConfig {
     /// The optimizing pass pipeline (ignored at [`DistillLevel::None`],
     /// which emits a verbatim relocated image).
     pub passes: PassConfig,
+    /// Pre-computation slice pass: instruction budget for the forward
+    /// relevance walk from an asserted-away branch direction toward the
+    /// profile's squash-feedback PCs. The pass itself only runs when the
+    /// profile carries slice feedback.
+    pub slice_max_walk: usize,
 }
 
 impl Default for DistillConfig {
@@ -179,6 +184,7 @@ impl Default for DistillConfig {
             target_task_size: 256,
             dist_text_base: 0x0008_0000,
             passes: PassConfig::all(),
+            slice_max_walk: 32,
         }
     }
 }

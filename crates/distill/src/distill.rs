@@ -46,6 +46,7 @@ use mssp_machine::{Fault, MachineState, SeqMachine};
 
 use crate::ir::{layout, DBlock, DInstr};
 use crate::passes::{run_pipeline, PassDelta, PipelineOutcome};
+use crate::slice::{compute_slices, Slice};
 use crate::{select_boundaries, DistillConfig, DistillLevel};
 
 /// Distillation failure.
@@ -113,6 +114,9 @@ pub struct DistillStats {
     pub jumps_threaded: usize,
     /// Pipeline iterations actually run before the fixpoint (or budget).
     pub pipeline_iterations: usize,
+    /// Pre-computation slices (spawn guards + live-in slices) emitted
+    /// from squash feedback in the profile.
+    pub slices_emitted: usize,
 }
 
 /// A distilled program plus the metadata the MSSP engine needs to drive it.
@@ -126,6 +130,7 @@ pub struct Distilled {
     crossings_per_task: u64,
     stats: DistillStats,
     pass_trace: Vec<PassDelta>,
+    slices: BTreeMap<u64, Vec<Slice>>,
 }
 
 impl Distilled {
@@ -164,6 +169,7 @@ impl Distilled {
             crossings_per_task: 1,
             stats,
             pass_trace: Vec::new(),
+            slices: BTreeMap::new(),
         }
     }
 
@@ -173,6 +179,30 @@ impl Distilled {
     pub fn with_crossings_per_task(mut self, n: u64) -> Distilled {
         self.crossings_per_task = n.max(1);
         self
+    }
+
+    /// Returns this `Distilled` with an explicit pre-computation slice
+    /// map (boundary original PC → slices). The "bring your own
+    /// distiller" counterpart of the slice pass; the lint-adversarial
+    /// tests use it to plant deliberately unsound slices.
+    #[must_use]
+    pub fn with_slices(mut self, slices: BTreeMap<u64, Vec<Slice>>) -> Distilled {
+        self.stats.slices_emitted = slices.values().map(Vec::len).sum();
+        self.slices = slices;
+        self
+    }
+
+    /// Pre-computation slices attached to the boundary at `orig_pc`
+    /// (empty for boundaries without squash feedback).
+    #[must_use]
+    pub fn slices_at(&self, orig_pc: u64) -> &[Slice] {
+        self.slices.get(&orig_pc).map_or(&[], Vec::as_slice)
+    }
+
+    /// The full boundary → slices map (the linter's audit surface).
+    #[must_use]
+    pub fn slices(&self) -> &BTreeMap<u64, Vec<Slice>> {
+        &self.slices
     }
 
     /// How many boundary crossings make one task. Boundary *sites* are
@@ -573,6 +603,16 @@ pub fn distill(
         .filter_map(|&b| orig_to_dist.get(&b).map(|&d| (d, b)))
         .collect();
 
+    // --- Pass 7: pre-computation slices (squash-feedback-gated). ---
+    let slices = compute_slices(
+        program,
+        &cfg,
+        profile,
+        &boundaries,
+        crossings_per_task_of(profile, &boundaries, config),
+        config,
+    );
+
     let counters = pipeline.counters;
     let stats = DistillStats {
         original_static: program.len(),
@@ -587,16 +627,10 @@ pub fn distill(
         copies_propagated: counters.copies_propagated,
         jumps_threaded: counters.jumps_threaded,
         pipeline_iterations: counters.iterations,
+        slices_emitted: slices.values().map(Vec::len).sum(),
     };
 
-    // Group crossings so the *average* task hits the configured size.
-    let total_crossings: u64 = boundaries.iter().map(|&b| profile.exec_count(b)).sum();
-    let crossings_per_task = if total_crossings == 0 {
-        1
-    } else {
-        let gap = profile.dynamic_instructions() as f64 / total_crossings as f64;
-        ((config.target_task_size as f64 / gap).round() as u64).clamp(1, 4096)
-    };
+    let crossings_per_task = crossings_per_task_of(profile, &boundaries, config);
 
     Ok(Distilled {
         program: distilled_program,
@@ -607,7 +641,23 @@ pub fn distill(
         crossings_per_task,
         stats,
         pass_trace: pipeline.trace,
+        slices,
     })
+}
+
+/// Groups crossings so the *average* task hits the configured size.
+fn crossings_per_task_of(
+    profile: &Profile,
+    boundaries: &BTreeSet<u64>,
+    config: &DistillConfig,
+) -> u64 {
+    let total_crossings: u64 = boundaries.iter().map(|&b| profile.exec_count(b)).sum();
+    if total_crossings == 0 {
+        1
+    } else {
+        let gap = profile.dynamic_instructions() as f64 / total_crossings as f64;
+        ((config.target_task_size as f64 / gap).round() as u64).clamp(1, 4096)
+    }
 }
 
 fn block_start_of(cfg: &Cfg, pc: u64) -> u64 {

@@ -43,8 +43,10 @@ mod config;
 mod distill;
 mod ir;
 mod passes;
+mod slice;
 
 pub use boundary::select_boundaries;
 pub use config::{DistillConfig, DistillLevel, PassConfig};
 pub use distill::{distill, DistillError, DistillStats, Distilled, DistilledRunError};
 pub use passes::PassDelta;
+pub use slice::{Slice, SliceKind, MAX_SLICE_LEN};

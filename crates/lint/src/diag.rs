@@ -66,11 +66,15 @@ pub enum LintId {
     DeadStoreInDistilled,
     /// The boundary set degenerated to the entry PC alone.
     DegenerateBoundarySet,
+    /// A pre-computation slice reads values that are not available at
+    /// spawn time (undeclared inputs, stores, control flow), or is not
+    /// the short straight-line program its kind promises.
+    SliceUnsound,
 }
 
 impl LintId {
     /// Every lint, in a stable order.
-    pub const ALL: [LintId; 8] = [
+    pub const ALL: [LintId; 9] = [
         LintId::BoundaryUnmapped,
         LintId::LiveinsUncovered,
         LintId::AssertUnjustified,
@@ -79,6 +83,7 @@ impl LintId {
         LintId::BoundaryInColdCode,
         LintId::DeadStoreInDistilled,
         LintId::DegenerateBoundarySet,
+        LintId::SliceUnsound,
     ];
 
     /// The lint's kebab-case name, as shown in reports.
@@ -93,6 +98,7 @@ impl LintId {
             LintId::BoundaryInColdCode => "boundary-in-cold-code",
             LintId::DeadStoreInDistilled => "dead-store-in-distilled",
             LintId::DegenerateBoundarySet => "degenerate-boundary-set",
+            LintId::SliceUnsound => "slice-unsound",
         }
     }
 
@@ -100,9 +106,10 @@ impl LintId {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            LintId::BoundaryUnmapped | LintId::LiveinsUncovered | LintId::CfgFallthroughOffEnd => {
-                Severity::Error
-            }
+            LintId::BoundaryUnmapped
+            | LintId::LiveinsUncovered
+            | LintId::CfgFallthroughOffEnd
+            | LintId::SliceUnsound => Severity::Error,
             LintId::AssertUnjustified
             | LintId::UnreachableAfterAssert
             | LintId::BoundaryInColdCode

@@ -25,6 +25,7 @@
 //! | `boundary-in-cold-code` | warning | boundaries recur in training |
 //! | `dead-store-in-distilled` | warning | no dead register writes survive |
 //! | `degenerate-boundary-set` | warning | boundary selection found a recurring site |
+//! | `slice-unsound` | error | pre-computation slices read only spawn-available values |
 //!
 //! ## Quick start
 //!

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use mssp_analysis::{Cfg, ConstProp, Liveness, Profile, ReachingDefs, RegSet};
-use mssp_distill::Distilled;
+use mssp_distill::{Distilled, Slice, SliceKind, MAX_SLICE_LEN};
 use mssp_isa::{PcSpan, Program};
 
 use crate::diag::{AddrSpace, Diagnostic, LintId, Report};
@@ -106,6 +106,7 @@ pub fn lint(
     check_boundary_in_cold_code(&mut report, distilled, profile);
     check_dead_store_in_distilled(&mut report, distilled, &orig_live, &dist_live);
     check_degenerate_boundary_set(&mut report, program, distilled, profile);
+    check_slice_unsound(&mut report, distilled);
 
     report.sort();
     report
@@ -447,6 +448,101 @@ fn check_degenerate_boundary_set(
                 .to_string(),
         ));
     }
+}
+
+/// `slice-unsound` (error): every pre-computation slice attached to a
+/// boundary must be the short, straight-line, register-pure program its
+/// kind promises, reading only spawn-available values — its declared
+/// inputs, its own earlier results, and the zero register. A slice
+/// violating this hands the master a value that does not exist at spawn
+/// time, turning the guard/live-in machinery into a deterministic squash
+/// (or spurious-veto) generator.
+fn check_slice_unsound(report: &mut Report, distilled: &Distilled) {
+    for (&boundary, slices) in distilled.slices() {
+        for slice in slices {
+            if let Some(why) = slice_violation(slice) {
+                report.push(Diagnostic::new(
+                    LintId::SliceUnsound,
+                    PcSpan::point(slice.home_pc),
+                    AddrSpace::Original,
+                    format!("pre-computation slice for boundary {boundary:#x} {why}"),
+                ));
+            }
+        }
+    }
+}
+
+/// The structural obligation for one slice; `None` when it holds.
+fn slice_violation(slice: &Slice) -> Option<String> {
+    let is_pure =
+        |i: &mssp_isa::Instr| !i.is_mem() && !i.is_control() && !i.is_halt() && !i.is_branch();
+    let p = &slice.program;
+    let count = p.len();
+    if count == 0 {
+        return Some("is empty".to_string());
+    }
+    if count > MAX_SLICE_LEN {
+        return Some(format!(
+            "has {count} instructions, over the {MAX_SLICE_LEN}-instruction limit"
+        ));
+    }
+    let mut avail: std::collections::BTreeSet<mssp_isa::Reg> =
+        slice.inputs.iter().map(|&(r, _)| r).collect();
+    let mut defined: std::collections::BTreeSet<mssp_isa::Reg> = std::collections::BTreeSet::new();
+    for (i, (pc, instr)) in p.iter_pcs().enumerate() {
+        let is_last = i + 1 == count;
+        match slice.kind {
+            SliceKind::SpawnGuard { .. } => {
+                // Guards may also load: the evaluator answers loads from
+                // the master's spawn-time memory view, which is itself
+                // spawn-available. Stores and control stay forbidden.
+                if is_last {
+                    if !instr.is_branch() {
+                        return Some(
+                            "is a spawn guard whose final instruction is not a conditional branch"
+                                .to_string(),
+                        );
+                    }
+                } else if !(is_pure(&instr) || instr.is_load()) {
+                    return Some(format!(
+                        "contains a non-ALU, non-load instruction at slice pc {pc:#x}"
+                    ));
+                }
+            }
+            SliceKind::LiveIn { .. } => {
+                if instr.is_halt() {
+                    if !is_last {
+                        return Some(format!("halts early at slice pc {pc:#x}"));
+                    }
+                } else if !is_pure(&instr) {
+                    return Some(format!(
+                        "contains a non-ALU instruction at slice pc {pc:#x}"
+                    ));
+                }
+            }
+        }
+        if instr.is_halt() {
+            continue;
+        }
+        for r in instr.use_regs().into_iter().flatten() {
+            if !r.is_zero() && !avail.contains(&r) {
+                return Some(format!(
+                    "reads {r} at slice pc {pc:#x}, which is neither a declared \
+                     input nor an earlier slice result (not spawn-available)"
+                ));
+            }
+        }
+        if let Some(d) = instr.def_reg() {
+            avail.insert(d);
+            defined.insert(d);
+        }
+    }
+    if let SliceKind::LiveIn { target } = slice.kind {
+        if !defined.contains(&target) {
+            return Some(format!("never defines its live-in target {target}"));
+        }
+    }
+    None
 }
 
 /// The set of registers live at a boundary according to the original

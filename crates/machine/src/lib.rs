@@ -44,6 +44,7 @@ mod delta;
 mod exec;
 mod mem;
 mod seq;
+mod sliceval;
 mod state;
 mod trace;
 
@@ -53,5 +54,6 @@ pub use delta::{expand_mask, Delta, MaskedVal};
 pub use exec::{step, Fault, MemAccess, StepInfo};
 pub use mem::SparseMem;
 pub use seq::{cumulative_writes, seq_n, HaltError, RunSummary, SeqError, SeqMachine, StopReason};
+pub use sliceval::{eval_slice, SliceEval};
 pub use state::{MachineState, Recording, Storage};
 pub use trace::{Trace, TraceStep};

@@ -275,11 +275,30 @@ pub fn run_mssp_with_engine_config(
     config: &TimingConfig,
     engine_config: EngineConfig,
 ) -> Result<TimingRun, EngineError> {
+    run_mssp_with_engine_setup(program, distilled, config, engine_config, |_| {})
+}
+
+/// Like [`run_mssp_with_engine_config`] but additionally hands the
+/// constructed [`Engine`] to `setup` before running it, so callers can
+/// switch on diagnostics (mismatch/squash samples, commit traces) that
+/// the plain entry points leave off.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_mssp_with_engine_setup(
+    program: &Program,
+    distilled: &Distilled,
+    config: &TimingConfig,
+    engine_config: EngineConfig,
+    setup: impl FnOnce(&mut Engine<'_, CmpCost>),
+) -> Result<TimingRun, EngineError> {
     let cost = CmpCost::new(&TimingConfig {
         engine: engine_config,
         ..*config
     });
-    let engine = Engine::new(program, distilled, engine_config, cost);
+    let mut engine = Engine::new(program, distilled, engine_config, cost);
+    setup(&mut engine);
     let (run, cost) = engine.run_returning_cost()?;
     let (master_core, slave_cores) = cost.core_stats();
     Ok(TimingRun {

@@ -4,11 +4,15 @@
 //! ```text
 //! mssp workloads                         list bundled benchmarks
 //! mssp asm <file.s>                      assemble + disassemble a source file
-//! mssp run <file.s|workload> [scale] [--stats]
+//! mssp run <file.s|workload> [scale] [--stats] [--no-predictor]
 //!                                        sequential execution
 //!                                        (--stats: also run the threaded
 //!                                        executor and report the O(delta)
-//!                                        verify/commit counters)
+//!                                        verify/commit counters, the
+//!                                        per-cause squash histogram and
+//!                                        the live-in predictor counters;
+//!                                        --no-predictor: disable live-in
+//!                                        value prediction in that run)
 //! mssp profile <file.s|workload>         dynamic profile summary
 //! mssp distill <file.s|workload> [--stats]
 //!                                        show distillation at all levels
@@ -31,7 +35,12 @@ fn main() -> ExitCode {
         Some("workloads") => cmd_workloads(),
         Some("asm") => with_arg(&args, cmd_asm),
         Some("run") => with_arg(&args, |t| {
-            cmd_run(t, scale_arg(&args), args.iter().any(|a| a == "--stats"))
+            cmd_run(
+                t,
+                scale_arg(&args),
+                args.iter().any(|a| a == "--stats"),
+                args.iter().any(|a| a == "--no-predictor"),
+            )
         }),
         Some("profile") => with_arg(&args, cmd_profile),
         Some("distill") => with_arg(&args, |t| {
@@ -41,7 +50,7 @@ fn main() -> ExitCode {
         Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
         _ => {
             eprintln!(
-                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n] [--json|--stats]\n\
+                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n] [--json|--stats|--no-predictor]\n\
                  target: an .s file or a bundled workload name (`lint` also accepts `all`)"
             );
             return ExitCode::FAILURE;
@@ -109,7 +118,12 @@ fn cmd_asm(target: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(target: &str, scale: Option<u64>, stats: bool) -> Result<(), String> {
+fn cmd_run(
+    target: &str,
+    scale: Option<u64>,
+    stats: bool,
+    no_predictor: bool,
+) -> Result<(), String> {
     let p = load(target, scale)?;
     let mut m = SeqMachine::boot(&p);
     let summary = m.run(u64::MAX).map_err(|e| e.to_string())?;
@@ -123,7 +137,11 @@ fn cmd_run(target: &str, scale: Option<u64>, stats: bool) -> Result<(), String> 
         // were published to workers.
         let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
         let d = distill(&p, &prof, &DistillConfig::default()).map_err(|e| e.to_string())?;
-        let run = run_threaded(&p, &d, EngineConfig::default()).map_err(|e| e.to_string())?;
+        let engine_config = EngineConfig {
+            enable_predictor: !no_predictor,
+            ..EngineConfig::default()
+        };
+        let run = run_threaded(&p, &d, engine_config).map_err(|e| e.to_string())?;
         if run.state.reg(Reg::S1) != m.state().reg(Reg::S1) {
             return Err("threaded checksum mismatch — correctness bug".into());
         }
@@ -149,6 +167,25 @@ fn cmd_run(target: &str, scale: Option<u64>, stats: bool) -> Result<(), String> 
         println!(
             "  snapshots: {} materialized, {} incremental deltas published",
             s.snapshots_materialized, s.deltas_published
+        );
+        println!(
+            "  squashes: {} wrong-path, {} live-in ({} predicted / {} stale), \
+             {} overrun, {} fault",
+            s.squashes_wrong_path,
+            s.squashes_live_in,
+            s.squashes_live_in_predicted,
+            s.squashes_live_in_stale,
+            s.squashes_overrun,
+            s.squashes_fault
+        );
+        println!(
+            "  predictor: {} overrides, {} hits, {} misses (accuracy {:.3}); \
+             {} spawn vetoes",
+            s.predictor_overrides,
+            s.predictor_hits,
+            s.predictor_misses,
+            s.predictor_accuracy(),
+            s.spawn_vetoes
         );
     }
     Ok(())

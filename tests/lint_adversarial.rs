@@ -373,3 +373,104 @@ fn recurring_entry_is_not_degenerate() {
         report.render_text()
     );
 }
+
+// ---------------------------------------------------------------------
+// slice-unsound (error)
+// ---------------------------------------------------------------------
+
+#[test]
+fn slice_unsound_fires_on_undeclared_input() {
+    // Start from a distillation that lints clean, then plant a live-in
+    // slice whose body reads a register it never declared as an input —
+    // a value that simply does not exist at spawn time.
+    let p = assemble(
+        "main: addi s0, zero, 64
+         loop: addi s1, s1, 3
+               addi s0, s0, -1
+               bnez s0, loop
+               halt",
+    )
+    .unwrap();
+    let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
+    let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
+    let clean = run_lint(&p, &d, &profile);
+    assert!(
+        clean.is_empty(),
+        "fixture must lint clean before corruption:\n{}",
+        clean.render_text()
+    );
+
+    let boundary = *d.boundaries().iter().next().unwrap();
+    let home = p.symbol("loop").unwrap();
+    let slice = mssp::distill::Slice {
+        kind: mssp::distill::SliceKind::LiveIn { target: Reg::S1 },
+        program: assemble("main: add s1, t1, zero\n halt").unwrap(),
+        inputs: Vec::new(), // t1 deliberately undeclared
+        window: 4,
+        home_pc: home,
+    };
+    let d = d.with_slices(BTreeMap::from([(boundary, vec![slice])]));
+
+    let report = run_lint(&p, &d, &profile);
+    assert_fires_only(&report, LintId::SliceUnsound);
+    assert!(fires_at(&report, LintId::SliceUnsound, home));
+    assert!(report.has_errors());
+    let finding = report.of(LintId::SliceUnsound).next().unwrap();
+    assert!(
+        finding.message.contains("not spawn-available"),
+        "message should name the obligation: {}",
+        finding.message
+    );
+}
+
+#[test]
+fn slice_unsound_fires_on_guard_with_store_or_bad_terminator() {
+    let p = assemble(
+        "main: addi s0, zero, 64
+         loop: addi s1, s1, 3
+               addi s0, s0, -1
+               bnez s0, loop
+               halt",
+    )
+    .unwrap();
+    let profile = Profile::collect(&p, Profile::UNBOUNDED).unwrap();
+    let d = distill(&p, &profile, &DistillConfig::default()).unwrap();
+    let boundary = *d.boundaries().iter().next().unwrap();
+    let home = p.symbol("loop").unwrap();
+
+    // Guards may read memory (the evaluator answers loads from the
+    // master's spawn-time view) but must never write it.
+    let storing_guard = mssp::distill::Slice {
+        kind: mssp::distill::SliceKind::SpawnGuard {
+            asserted_taken: true,
+        },
+        program: assemble(
+            "main: sd   s0, -8(sp)
+                   bnez s0, main",
+        )
+        .unwrap(),
+        inputs: vec![(Reg::S0, -1), (Reg::SP, 0)],
+        window: 4,
+        home_pc: home,
+    };
+    // A guard whose final instruction is not the guarded branch cannot
+    // veto anything.
+    let branchless_guard = mssp::distill::Slice {
+        kind: mssp::distill::SliceKind::SpawnGuard {
+            asserted_taken: false,
+        },
+        program: assemble("main: addi s0, s0, -1\n halt").unwrap(),
+        inputs: vec![(Reg::S0, -1)],
+        window: 4,
+        home_pc: home,
+    };
+    let d = d.with_slices(BTreeMap::from([(
+        boundary,
+        vec![storing_guard, branchless_guard],
+    )]));
+
+    let report = run_lint(&p, &d, &profile);
+    assert_fires_only(&report, LintId::SliceUnsound);
+    assert_eq!(report.of(LintId::SliceUnsound).count(), 2);
+    assert!(report.has_errors());
+}

@@ -31,10 +31,12 @@ use mssp::prelude::*;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn squash_histogram(stats: &EngineStats) -> [u64; 4] {
+fn squash_histogram(stats: &EngineStats) -> [u64; 6] {
     [
         stats.squashes_wrong_path,
         stats.squashes_live_in,
+        stats.squashes_live_in_predicted,
+        stats.squashes_live_in_stale,
         stats.squashes_overrun,
         stats.squashes_fault,
     ]
@@ -96,11 +98,26 @@ fn assert_differential(program: &Program, d: &Distilled, label: &str) {
         );
 
         // Squash-reason histogram: forced by architected state, which
-        // both executors walk identically.
+        // both executors walk identically. The predicted/stale split and
+        // the hit/miss counters are deterministic too — the predictor
+        // trains only at verify time (in-order on both sides) and is
+        // frozen within a master epoch, so every *verified* task's
+        // injections depend only on the commit/squash history, never on
+        // spawn-ahead timing. (Raw spawned_tasks / spawn_vetoes /
+        // predictor_overrides DO depend on run-ahead depth and are
+        // deliberately not compared.)
         assert_eq!(
             squash_histogram(&run.stats),
             squash_histogram(&reference.stats),
             "{label}: squash histogram, {slaves} workers"
+        );
+        assert_eq!(
+            (run.stats.predictor_hits, run.stats.predictor_misses),
+            (
+                reference.stats.predictor_hits,
+                reference.stats.predictor_misses
+            ),
+            "{label}: predictor hit/miss, {slaves} workers"
         );
     }
 }
@@ -162,6 +179,106 @@ fn long_run_cycles_snapshots_compaction_and_arena_recycling() {
             run.stats
         );
         assert!(run.stats.deltas_published > run.stats.snapshots_materialized);
+    }
+}
+
+/// A fixture whose master clobbers `s2` inside the loop while the
+/// original holds it constant at `truth`: every spawned checkpoint
+/// carries the wrong `s2`, so every task live-in-mismatches until the
+/// last-value predictor saturates on the (constant) architected value
+/// and starts overriding the checkpoint at spawn — after which tasks
+/// commit on the strength of the injected prediction alone.
+fn predictor_fixture(iters: u64, junk: u64, truth: u64) -> (Program, Distilled) {
+    let original = assemble(&format!(
+        "main:  addi s2, zero, {truth}
+                addi s0, zero, {iters}
+         loop:  add  t0, s2, s0
+                sd   t0, -8(sp)
+                addi s0, s0, -1
+                bnez s0, loop
+                ld   s1, -8(sp)
+                halt"
+    ))
+    .unwrap();
+    let wrong = assemble(&format!(
+        "main:  addi s2, zero, {truth}
+                addi s0, zero, {iters}
+         loop:  addi s2, zero, {junk}
+                addi s0, s0, -1
+                j    loop"
+    ))
+    .unwrap();
+    let boundary = original.symbol("loop").unwrap();
+    let map = BTreeMap::from([
+        (original.entry(), wrong.entry()),
+        (boundary, wrong.symbol("loop").unwrap()),
+    ]);
+    let d = Distilled::from_parts(wrong, BTreeSet::from([boundary]), map);
+    (original, d)
+}
+
+#[test]
+fn predictor_rescue_and_attribution_match_across_executors() {
+    // Deterministic fuzz: vary iteration count and the junk/truth values
+    // with a fixed-seed LCG. Each variant must (a) actually exercise the
+    // rescue path in the discrete engine, and (b) agree with the
+    // threaded executor on state, commits, the predicted/stale squash
+    // split, and the hit/miss counters at every worker count.
+    let mut seed = 0x5eed_cafe_u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+    for variant in 0..4 {
+        let iters = 120 + next() % 200;
+        let junk = 1 + next() % 1000;
+        let truth = junk + 1 + next() % 97; // always distinct from junk
+        let (program, d) = predictor_fixture(iters, junk, truth);
+
+        let probe = Engine::new(&program, &d, EngineConfig::default(), UnitCost)
+            .run()
+            .expect("engine terminates");
+        assert!(
+            probe.stats.predictor_hits > 0,
+            "variant {variant}: the predictor must rescue commits (stats: {:?})",
+            probe.stats
+        );
+        assert!(
+            probe.stats.squashes_live_in_stale > 0,
+            "variant {variant}: pre-saturation squashes must be attributed stale"
+        );
+        assert_eq!(
+            probe.stats.squashes_live_in,
+            probe.stats.squashes_live_in_predicted + probe.stats.squashes_live_in_stale,
+            "variant {variant}: attribution must partition live-in squashes"
+        );
+
+        // With the predictor off, the same fixture squash-storms: the
+        // rescue above is the predictor's doing, not an accident of the
+        // fixture.
+        let off = Engine::new(
+            &program,
+            &d,
+            EngineConfig {
+                enable_predictor: false,
+                ..EngineConfig::default()
+            },
+            UnitCost,
+        )
+        .run()
+        .expect("engine terminates");
+        assert!(
+            off.stats.squashes_live_in > probe.stats.squashes_live_in,
+            "variant {variant}: disabling the predictor must cost squashes \
+             (off {} vs on {})",
+            off.stats.squashes_live_in,
+            probe.stats.squashes_live_in
+        );
+        assert_eq!(off.stats.predictor_hits, 0);
+
+        assert_differential(&program, &d, &format!("predictor fuzz variant {variant}"));
     }
 }
 
