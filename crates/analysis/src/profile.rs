@@ -255,6 +255,59 @@ impl Profile {
         !self.hard_live_ins.is_empty() || !self.wrong_path_pcs.is_empty()
     }
 
+    /// Accumulates another profile into this one: counts add, footprints
+    /// and slice-feedback sets union. Used by the online adaptive loop to
+    /// fold per-segment observations into a long-lived live profile.
+    pub fn merge(&mut self, other: &Profile) {
+        for (&pc, &n) in &other.exec {
+            *self.exec.entry(pc).or_insert(0) += n;
+        }
+        for (&pc, c) in &other.branches {
+            let e = self.branches.entry(pc).or_default();
+            e.taken += c.taken;
+            e.not_taken += c.not_taken;
+        }
+        for (&edge, &n) in &other.edges {
+            *self.edges.entry(edge).or_insert(0) += n;
+        }
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branch_instrs += other.branch_instrs;
+        self.loaded_words.extend(&other.loaded_words);
+        for (&pc, words) in &other.store_words {
+            self.store_words.entry(pc).or_default().extend(words);
+        }
+        self.hard_live_ins.extend(&other.hard_live_ins);
+        self.wrong_path_pcs.extend(&other.wrong_path_pcs);
+    }
+
+    /// Exponentially decays every count by halving it, pruning entries
+    /// that reach zero, so a live profile forgets old program phases.
+    /// Memory footprints and slice-feedback sets are *sticky*: they carry
+    /// no weight, only membership, and keeping them is conservative (a
+    /// stale write-only word can only suppress an elision; a stale
+    /// hard-live-in only adds a validated pre-computation slice).
+    pub fn decay(&mut self) {
+        for n in self.exec.values_mut() {
+            *n >>= 1;
+        }
+        self.exec.retain(|_, n| *n > 0);
+        for c in self.branches.values_mut() {
+            c.taken >>= 1;
+            c.not_taken >>= 1;
+        }
+        self.branches.retain(|_, c| c.total() > 0);
+        for n in self.edges.values_mut() {
+            *n >>= 1;
+        }
+        self.edges.retain(|_, n| *n > 0);
+        self.instructions >>= 1;
+        self.loads >>= 1;
+        self.stores >>= 1;
+        self.branch_instrs >>= 1;
+    }
+
     /// The average bias of all executed conditional branches, weighted by
     /// execution count (`None` if the run had no branches). One of the
     /// workload-characterization columns: high average bias predicts good
@@ -339,6 +392,103 @@ mod tests {
         let skip = p.symbol("skip").unwrap();
         assert!(prof.branch(skip).is_none());
         assert_eq!(prof.exec_count(skip), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_unions_sets() {
+        let (p, mut a) = profiled(
+            "main: addi a0, zero, 3
+             loop: sd a0, -8(sp)
+                   ld a1, -8(sp)
+                   addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        let b = a.clone();
+        let loop_pc = p.symbol("loop").unwrap();
+        let branch_pc = loop_pc + 12;
+        let before_exec = a.exec_count(loop_pc);
+        let before_branch = a.branch(branch_pc).unwrap();
+        a.mark_hard_live_in(Reg::A0);
+        let mut other = b.clone();
+        other.mark_wrong_path(branch_pc);
+        a.merge(&other);
+        assert_eq!(a.exec_count(loop_pc), 2 * before_exec);
+        assert_eq!(a.branch(branch_pc).unwrap().taken, 2 * before_branch.taken);
+        assert_eq!(
+            a.edge_count(branch_pc, loop_pc),
+            2 * b.edge_count(branch_pc, loop_pc)
+        );
+        assert_eq!(a.dynamic_instructions(), 2 * b.dynamic_instructions());
+        assert_eq!(a.loads(), 2 * b.loads());
+        assert_eq!(a.stores(), 2 * b.stores());
+        assert_eq!(a.dynamic_branches(), 2 * b.dynamic_branches());
+        assert!(a.hard_live_ins().contains(&Reg::A0));
+        assert!(a.wrong_path_pcs().contains(&branch_pc));
+        assert!(a.has_slice_feedback());
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity_on_counts() {
+        let (p, prof) = profiled(
+            "main: addi a0, zero, 5
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        let mut merged = Profile::empty();
+        merged.merge(&prof);
+        let loop_pc = p.symbol("loop").unwrap();
+        assert_eq!(merged.exec_count(loop_pc), prof.exec_count(loop_pc));
+        assert_eq!(merged.dynamic_instructions(), prof.dynamic_instructions());
+        assert_eq!(
+            merged.branch(loop_pc + 4).unwrap(),
+            prof.branch(loop_pc + 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn decay_halves_counts_and_prunes_zeros() {
+        let (p, mut prof) = profiled(
+            "main: addi a0, zero, 9
+             loop: addi a0, a0, -1
+                   bnez a0, loop
+                   halt",
+        );
+        let loop_pc = p.symbol("loop").unwrap();
+        let main_pc = p.symbol("main").unwrap();
+        assert_eq!(prof.exec_count(main_pc), 1);
+        assert_eq!(prof.exec_count(loop_pc), 9);
+        prof.mark_hard_live_in(Reg::A0);
+        prof.decay();
+        // 9 execs halve to 4; the single main exec decays to nothing and
+        // its entry is pruned (so reachability roots stop seeing it).
+        assert_eq!(prof.exec_count(loop_pc), 4);
+        assert_eq!(prof.exec_count(main_pc), 0);
+        assert!(prof.iter_exec().all(|(_, n)| n > 0));
+        assert_eq!(prof.dynamic_instructions(), 18_u64.div_ceil(2));
+        // Feedback sets are sticky.
+        assert!(prof.hard_live_ins().contains(&Reg::A0));
+        // Enough decay rounds forget the phase entirely.
+        for _ in 0..8 {
+            prof.decay();
+        }
+        assert_eq!(prof.exec_count(loop_pc), 0);
+        assert_eq!(prof.dynamic_branches(), 0);
+        assert!(prof.branch(loop_pc + 4).is_none());
+    }
+
+    #[test]
+    fn store_footprints_survive_merge() {
+        let (p, prof) = profiled(
+            "main: sd a0, -8(sp)
+                   halt",
+        );
+        let main_pc = p.symbol("main").unwrap();
+        assert!(prof.store_is_write_only(main_pc));
+        let mut merged = Profile::empty();
+        merged.merge(&prof);
+        assert!(merged.store_is_write_only(main_pc));
     }
 
     #[test]

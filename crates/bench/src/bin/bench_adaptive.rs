@@ -1,0 +1,269 @@
+//! BENCH — online adaptive re-distillation benchmark.
+//!
+//! Runs phase-shifting workloads whose behaviour diverges mid-run from
+//! the training profile, once with the offline distillation frozen and
+//! once with the adaptive controller hot-swapping re-distillations from
+//! the live profile, and emits the comparison as `BENCH_adaptive.json`.
+//! A stationary half runs standard workloads on their training inputs
+//! and checks the controller never fires. CI runs both at small scale
+//! and fails the build if adaptation stops paying for itself or starts
+//! recompiling on stationary behaviour.
+//!
+//! ```text
+//! bench_adaptive [--json] [--out PATH] [--scale-div N]
+//!                [--min-dyn-improvement X] [--min-squash-improvement X]
+//!                [--require-swap] [--max-stationary-recompilations N]
+//! ```
+//!
+//! * `--json` — emit JSON (to stdout, or to `--out PATH`); otherwise a
+//!   human-readable table is printed.
+//! * `--scale-div N` — divide every workload's default scale by `N`
+//!   (default 1; CI uses a large divisor for speed).
+//! * `--min-dyn-improvement X` — exit non-zero if any phase workload's
+//!   `frozen / adaptive` dyn-ratio improvement falls below `X`. Note the
+//!   dyn ratio is not monotonic in goodness on phase workloads: a frozen
+//!   master that goes Lost post-shift executes almost nothing and scores
+//!   a flattering ratio while delivering sub-1.0 speedup, so the default
+//!   CI gates use squash rate and speedup instead.
+//! * `--min-speedup-improvement X` — exit non-zero if any phase
+//!   workload's `adaptive / frozen` cycle-speedup ratio falls below `X`.
+//! * `--min-squash-improvement X` — exit non-zero if any phase
+//!   workload's `frozen / adaptive` squash-rate improvement falls below
+//!   `X`.
+//! * `--require-swap` — exit non-zero if any phase workload installed no
+//!   hot-swap (the shift went undetected).
+//! * `--max-stationary-recompilations N` — exit non-zero if any
+//!   stationary workload triggered more than `N` recompilations
+//!   (default gate when passed: 0 means "never fire on training-like
+//!   behaviour").
+
+use std::process::ExitCode;
+
+use mssp_bench::{
+    adaptive_dyn_improvement, collect_adaptive_records, collect_stationary_records, print_header,
+    render_adaptive_json,
+};
+use mssp_stats::{fmt3, Table};
+
+struct Args {
+    json: bool,
+    out: Option<String>,
+    scale_div: u64,
+    min_dyn_improvement: Option<f64>,
+    min_squash_improvement: Option<f64>,
+    min_speedup_improvement: Option<f64>,
+    require_swap: bool,
+    max_stationary_recompilations: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        out: None,
+        scale_div: 1,
+        min_dyn_improvement: None,
+        min_squash_improvement: None,
+        min_speedup_improvement: None,
+        require_swap: false,
+        max_stationary_recompilations: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--scale-div" => {
+                args.scale_div = value("--scale-div")?
+                    .parse()
+                    .map_err(|e| format!("--scale-div: {e}"))?;
+            }
+            "--min-dyn-improvement" => {
+                args.min_dyn_improvement = Some(
+                    value("--min-dyn-improvement")?
+                        .parse()
+                        .map_err(|e| format!("--min-dyn-improvement: {e}"))?,
+                );
+            }
+            "--min-squash-improvement" => {
+                args.min_squash_improvement = Some(
+                    value("--min-squash-improvement")?
+                        .parse()
+                        .map_err(|e| format!("--min-squash-improvement: {e}"))?,
+                );
+            }
+            "--min-speedup-improvement" => {
+                args.min_speedup_improvement = Some(
+                    value("--min-speedup-improvement")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup-improvement: {e}"))?,
+                );
+            }
+            "--require-swap" => args.require_swap = true,
+            "--max-stationary-recompilations" => {
+                args.max_stationary_recompilations = Some(
+                    value("--max-stationary-recompilations")?
+                        .parse()
+                        .map_err(|e| format!("--max-stationary-recompilations: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_adaptive: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let records = collect_adaptive_records(args.scale_div);
+    let stationary = collect_stationary_records(args.scale_div);
+
+    if args.json {
+        let json = render_adaptive_json(&records, &stationary, args.scale_div);
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("bench_adaptive: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{json}"),
+        }
+    } else {
+        print_header(
+            "BENCH",
+            "Online adaptive re-distillation benchmark",
+            &format!("scale divisor {}", args.scale_div),
+        );
+        let mut table = Table::new(vec![
+            "benchmark",
+            "dyn frozen",
+            "dyn adapt",
+            "sq/1k frozen",
+            "sq/1k adapt",
+            "swaps",
+            "fast/full",
+            "speedup frozen",
+            "speedup adapt",
+        ]);
+        for r in &records {
+            table.row(vec![
+                r.name.clone(),
+                fmt3(r.frozen_dyn_ratio),
+                fmt3(r.adaptive_dyn_ratio),
+                format!("{:.1}", r.frozen_squash_per_1k),
+                format!("{:.1}", r.adaptive_squash_per_1k),
+                r.swaps_installed.to_string(),
+                format!("{}/{}", r.recompilations_fast, r.recompilations_full),
+                fmt3(r.speedup_frozen),
+                fmt3(r.speedup_adaptive),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "geomean dyn improvement:    {:.3}",
+            adaptive_dyn_improvement(&records)
+        );
+        let mut st = Table::new(vec!["stationary", "recompilations", "swaps", "divergent"]);
+        for r in &stationary {
+            st.row(vec![
+                r.name.clone(),
+                r.recompilations.to_string(),
+                r.swaps_installed.to_string(),
+                r.divergent_windows.to_string(),
+            ]);
+        }
+        println!("{}", st.render());
+    }
+
+    let mut failed = false;
+    if let Some(floor) = args.min_dyn_improvement {
+        for r in &records {
+            let improvement = if r.adaptive_dyn_ratio == 0.0 {
+                f64::INFINITY
+            } else {
+                r.frozen_dyn_ratio / r.adaptive_dyn_ratio
+            };
+            if improvement < floor {
+                eprintln!(
+                    "bench_adaptive: {} dyn improvement {:.2}x \
+                     ({:.3} -> {:.3}) below floor {:.2}x",
+                    r.name, improvement, r.frozen_dyn_ratio, r.adaptive_dyn_ratio, floor
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(floor) = args.min_squash_improvement {
+        for r in &records {
+            // An adaptive rate of zero is infinite improvement; only a
+            // still-squashing run can fall below the floor.
+            let improvement = if r.adaptive_squash_per_1k == 0.0 {
+                f64::INFINITY
+            } else {
+                r.frozen_squash_per_1k / r.adaptive_squash_per_1k
+            };
+            if improvement < floor {
+                eprintln!(
+                    "bench_adaptive: {} squash improvement {:.2}x \
+                     ({:.1}/1k -> {:.1}/1k) below floor {:.2}x",
+                    r.name, improvement, r.frozen_squash_per_1k, r.adaptive_squash_per_1k, floor
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(floor) = args.min_speedup_improvement {
+        for r in &records {
+            let improvement = if r.speedup_frozen == 0.0 {
+                f64::INFINITY
+            } else {
+                r.speedup_adaptive / r.speedup_frozen
+            };
+            if improvement < floor {
+                eprintln!(
+                    "bench_adaptive: {} speedup improvement {:.3}x \
+                     ({:.3} -> {:.3}) below floor {:.3}x",
+                    r.name, improvement, r.speedup_frozen, r.speedup_adaptive, floor
+                );
+                failed = true;
+            }
+        }
+    }
+    if args.require_swap {
+        for r in &records {
+            if r.swaps_installed == 0 {
+                eprintln!(
+                    "bench_adaptive: {} installed no hot-swap — the phase \
+                     shift went undetected",
+                    r.name
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(ceiling) = args.max_stationary_recompilations {
+        for r in &stationary {
+            if r.recompilations > ceiling {
+                eprintln!(
+                    "bench_adaptive: stationary {} triggered {} recompilations \
+                     (ceiling {ceiling})",
+                    r.name, r.recompilations
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -28,9 +28,9 @@ use std::process::ExitCode;
 use mssp_bench::{collect_speedup_records, print_header, render_speedup_json};
 use mssp_stats::{fmt3, geomean, Table};
 
-/// Workloads the squash-rate gates apply to: the squash-prone trio whose
+/// Workloads the squash-rate gates apply to: the squash-prone set whose
 /// attack-off baseline reliably squashes at every scale CI runs at.
-const SQUASH_GATED: [&str; 3] = ["mcf_like", "vpr_like", "gcc_like"];
+const SQUASH_GATED: [&str; 4] = ["mcf_like", "vpr_like", "gcc_like", "twolf_like"];
 
 struct Args {
     json: bool,

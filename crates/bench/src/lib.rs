@@ -13,9 +13,13 @@
 #![warn(rust_2018_idioms)]
 
 use mssp_analysis::Profile;
-use mssp_core::{EngineConfig, EngineStats, SquashReason, SquashSample};
+use mssp_core::{
+    AdaptiveConfig, AdaptiveController, EngineConfig, EngineStats, Recompiler, SquashReason,
+    SquashSample,
+};
 use mssp_distill::{distill, DistillConfig, DistillStats, Distilled};
 use mssp_isa::Program;
+use mssp_lint::{redistill_validated, LintConfig};
 use mssp_machine::{Cell, SeqMachine};
 use mssp_timing::{
     run_baseline, run_mssp, run_mssp_with_engine_setup, speedup, BaselineRun, TimingConfig,
@@ -335,6 +339,365 @@ pub fn render_speedup_json(records: &[SpeedupRecord], divisor: u64) -> String {
     out.push_str(&format!(
         "  \"geomean_dyn_ratio_dce_only\": {}\n",
         num(geo(|r| r.dyn_ratio_dce_only))
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// One phase-shifting workload's row in the adaptive re-distillation
+/// benchmark (`BENCH_adaptive.json`): a frozen offline distillation vs
+/// the online adaptive loop on an input whose behaviour shifts mid-run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRecord {
+    /// Phase workload name.
+    pub name: String,
+    /// Scale (phase A iterations) the workload ran at.
+    pub scale: u64,
+    /// Phase B (post-shift) iterations.
+    pub phase_b: u64,
+    /// Whole-run dyn-instruction ratio of the frozen offline
+    /// distillation (master instructions / committed instructions; the
+    /// squash storm after the shift re-executes master work, inflating
+    /// it).
+    pub frozen_dyn_ratio: f64,
+    /// Whole-run squash rate of the frozen run.
+    pub frozen_squash_per_1k: f64,
+    /// Whole-run dyn-instruction ratio with online adaptation.
+    pub adaptive_dyn_ratio: f64,
+    /// Whole-run squash rate with online adaptation.
+    pub adaptive_squash_per_1k: f64,
+    /// Dyn ratio accumulated up to the first hot-swap.
+    pub pre_swap_dyn_ratio: f64,
+    /// Dyn ratio accumulated after the last hot-swap.
+    pub post_swap_dyn_ratio: f64,
+    /// Squash rate up to the first hot-swap.
+    pub pre_swap_squash_per_1k: f64,
+    /// Squash rate after the last hot-swap.
+    pub post_swap_squash_per_1k: f64,
+    /// Fast-tier recompilations installed.
+    pub recompilations_fast: u64,
+    /// Full-tier recompilations installed.
+    pub recompilations_full: u64,
+    /// Hot-swaps installed.
+    pub swaps_installed: u64,
+    /// Candidates rejected by the segmentation pin or the lint gate.
+    pub candidates_rejected: u64,
+    /// Recompile attempts that errored outright.
+    pub recompile_failures: u64,
+    /// Committed-task count at the first swap (0 when none installed).
+    pub first_swap_at_tasks: u64,
+    /// Largest observed recompile+validate latency, microseconds.
+    pub swap_latency_micros_max: u64,
+    /// Cycle speedup of the frozen run over the uniprocessor baseline.
+    pub speedup_frozen: f64,
+    /// Cycle speedup of the adaptive run over the same baseline.
+    pub speedup_adaptive: f64,
+}
+
+/// One stationary workload's row in the adaptive benchmark: behaviour
+/// matching the training profile must trigger no recompilation at all.
+#[derive(Debug, Clone)]
+pub struct StationaryRecord {
+    /// Workload name (from the standard bundle).
+    pub name: String,
+    /// Scale the workload ran at.
+    pub scale: u64,
+    /// Recompilations triggered (gated to zero).
+    pub recompilations: u64,
+    /// Hot-swaps installed (gated to zero).
+    pub swaps_installed: u64,
+    /// Windows the controller flagged divergent.
+    pub divergent_windows: u64,
+}
+
+/// Standard-bundle workloads used for the stationary (no-false-trigger)
+/// half of the adaptive benchmark.
+pub const STATIONARY_WORKLOADS: [&str; 3] = ["gzip_like", "gap_like", "mcf_like"];
+
+/// Builds the adaptive loop's recompiler: the pinned-boundary pipeline
+/// behind `mssp-lint`'s full soundness gate, so every candidate the
+/// executor may install passed `distill_validated`'s lint battery.
+#[must_use]
+pub fn validated_recompiler(program: &Program, distilled: &Distilled) -> Recompiler {
+    let program = program.clone();
+    let dcfg = DistillConfig::default();
+    let lcfg = LintConfig::default();
+    let boundaries = distilled.boundaries().clone();
+    let crossings = distilled.crossings_per_task().max(1);
+    Box::new(move |profile, tier| {
+        redistill_validated(
+            &program,
+            profile,
+            &dcfg,
+            tier,
+            &boundaries,
+            crossings,
+            &lcfg,
+        )
+        .map_err(|e| e.to_string())
+    })
+}
+
+fn stats_dyn_ratio(stats: &EngineStats) -> f64 {
+    if stats.committed_instructions == 0 {
+        0.0
+    } else {
+        stats.master_instructions as f64 / stats.committed_instructions as f64
+    }
+}
+
+/// Dyn ratio of the stats delta `late - early` (a window of one run).
+fn slice_dyn_ratio(early: &EngineStats, late: &EngineStats) -> f64 {
+    let committed = late
+        .committed_instructions
+        .saturating_sub(early.committed_instructions);
+    if committed == 0 {
+        0.0
+    } else {
+        late.master_instructions
+            .saturating_sub(early.master_instructions) as f64
+            / committed as f64
+    }
+}
+
+/// Squash rate of the stats delta `late - early`.
+fn slice_squash_per_1k(early: &EngineStats, late: &EngineStats) -> f64 {
+    let spawned = late.spawned_tasks.saturating_sub(early.spawned_tasks);
+    if spawned == 0 {
+        0.0
+    } else {
+        1000.0 * late.squash_events().saturating_sub(early.squash_events()) as f64 / spawned as f64
+    }
+}
+
+/// Measures every phase-shifting workload at `default_scale / divisor`:
+/// the offline profile is collected on the training input (`phase_b =
+/// 0`, blind to the shift), then the reference input (`phase_b = scale`)
+/// runs once with that distillation frozen and once with the online
+/// adaptive loop hot-swapping re-distillations from the live profile.
+///
+/// # Panics
+///
+/// Panics on any harness failure, including a checksum mismatch between
+/// any run and the uniprocessor baseline (a correctness bug, not a
+/// measurement).
+#[must_use]
+pub fn collect_adaptive_records(divisor: u64) -> Vec<AdaptiveRecord> {
+    let tcfg = TimingConfig::default();
+    let dcfg = DistillConfig::default();
+    mssp_workloads::phase_workloads()
+        .iter()
+        .map(|w| {
+            let scale = harness_scale(w, divisor);
+            let phase_b = scale;
+            let train = w.phase_program(scale, 0);
+            let reference = w.phase_program(scale, phase_b);
+            let profile = Profile::collect(&train, Profile::UNBOUNDED).expect("training run");
+            let distilled = distill(&reference, &profile, &dcfg).expect("distillation");
+            let baseline = run_baseline(&reference, &tcfg, u64::MAX).expect("baseline runs");
+
+            let frozen = run_mssp(&reference, &distilled, &tcfg).expect("frozen mssp run");
+            assert_eq!(
+                baseline.state.reg(CHECKSUM_REG),
+                frozen.run.state.reg(CHECKSUM_REG),
+                "{}: frozen checksum mismatch - correctness bug",
+                w.name
+            );
+
+            let controller =
+                AdaptiveController::new(AdaptiveConfig::default(), &distilled, &profile);
+            let recompiler = validated_recompiler(&reference, &distilled);
+            let adaptive =
+                run_mssp_with_engine_setup(&reference, &distilled, &tcfg, tcfg.engine, move |e| {
+                    e.enable_adaptive(controller, recompiler);
+                })
+                .expect("adaptive mssp run");
+            assert_eq!(
+                baseline.state.reg(CHECKSUM_REG),
+                adaptive.run.state.reg(CHECKSUM_REG),
+                "{}: adaptive checksum mismatch - correctness bug",
+                w.name
+            );
+            let stats = adaptive.run.stats;
+            let report = adaptive
+                .run
+                .adaptive
+                .as_ref()
+                .expect("adaptive run carries a report");
+            let zero = EngineStats::default();
+            let (pre, post) = match (report.swaps.first(), report.swaps.last()) {
+                (Some(first), Some(last)) => (first.stats, last.stats),
+                // No swap installed: the whole run is "pre".
+                _ => (stats, stats),
+            };
+            AdaptiveRecord {
+                name: w.name.to_string(),
+                scale,
+                phase_b,
+                frozen_dyn_ratio: stats_dyn_ratio(&frozen.run.stats),
+                frozen_squash_per_1k: squash_per_1k_tasks(&frozen.run.stats),
+                adaptive_dyn_ratio: stats_dyn_ratio(&stats),
+                adaptive_squash_per_1k: squash_per_1k_tasks(&stats),
+                pre_swap_dyn_ratio: slice_dyn_ratio(&zero, &pre),
+                post_swap_dyn_ratio: slice_dyn_ratio(&post, &stats),
+                pre_swap_squash_per_1k: slice_squash_per_1k(&zero, &pre),
+                post_swap_squash_per_1k: slice_squash_per_1k(&post, &stats),
+                recompilations_fast: report.recompilations_fast,
+                recompilations_full: report.recompilations_full,
+                swaps_installed: stats.swaps_installed,
+                candidates_rejected: report.candidates_rejected,
+                recompile_failures: report.recompile_failures,
+                first_swap_at_tasks: report.swaps.first().map_or(0, |m| m.at_committed_tasks),
+                swap_latency_micros_max: report
+                    .swaps
+                    .iter()
+                    .map(|m| m.latency_micros)
+                    .max()
+                    .unwrap_or(0),
+                speedup_frozen: speedup(baseline.cycles, frozen.run.cycles),
+                speedup_adaptive: speedup(baseline.cycles, adaptive.run.cycles),
+            }
+        })
+        .collect()
+}
+
+/// Runs [`STATIONARY_WORKLOADS`] with the adaptive loop armed on inputs
+/// that match their training profile: the controller must stay quiet.
+///
+/// # Panics
+///
+/// Panics on harness failures (broken build, not a measurement).
+#[must_use]
+pub fn collect_stationary_records(divisor: u64) -> Vec<StationaryRecord> {
+    let tcfg = TimingConfig::default();
+    STATIONARY_WORKLOADS
+        .iter()
+        .map(|name| {
+            let w = Workload::by_name(name).expect("stationary workload exists");
+            let scale = harness_scale(w, divisor);
+            let program = w.program(scale);
+            let (distilled, profile) = prepare(&program, &DistillConfig::default());
+            let controller =
+                AdaptiveController::new(AdaptiveConfig::default(), &distilled, &profile);
+            let recompiler = validated_recompiler(&program, &distilled);
+            let run =
+                run_mssp_with_engine_setup(&program, &distilled, &tcfg, tcfg.engine, move |e| {
+                    e.enable_adaptive(controller, recompiler);
+                })
+                .expect("stationary adaptive run");
+            let report = run
+                .run
+                .adaptive
+                .as_ref()
+                .expect("adaptive run carries a report");
+            StationaryRecord {
+                name: (*name).to_string(),
+                scale,
+                recompilations: report.recompilations(),
+                swaps_installed: run.run.stats.swaps_installed,
+                divergent_windows: report.divergent_windows,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean frozen/adaptive dyn-ratio improvement across phase
+/// records (> 1 means adaptation beat the frozen distillation).
+#[must_use]
+pub fn adaptive_dyn_improvement(records: &[AdaptiveRecord]) -> f64 {
+    let col: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            if r.adaptive_dyn_ratio > 0.0 {
+                r.frozen_dyn_ratio / r.adaptive_dyn_ratio
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    mssp_stats::geomean(&col)
+}
+
+/// Renders the adaptive benchmark as the `BENCH_adaptive.json` document
+/// (hand-rolled: the workspace is std-only).
+#[must_use]
+pub fn render_adaptive_json(
+    records: &[AdaptiveRecord],
+    stationary: &[StationaryRecord],
+    divisor: u64,
+) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mssp-bench-adaptive/v1\",\n");
+    out.push_str(&format!("  \"scale_divisor\": {divisor},\n"));
+    out.push_str("  \"phase_workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": {}, \"phase_b\": {},\n",
+            r.name, r.scale, r.phase_b
+        ));
+        out.push_str(&format!(
+            "     \"frozen_dyn_ratio\": {}, \"adaptive_dyn_ratio\": {}, \"frozen_squash_per_1k\": {}, \"adaptive_squash_per_1k\": {},\n",
+            num(r.frozen_dyn_ratio),
+            num(r.adaptive_dyn_ratio),
+            num(r.frozen_squash_per_1k),
+            num(r.adaptive_squash_per_1k),
+        ));
+        out.push_str(&format!(
+            "     \"pre_swap_dyn_ratio\": {}, \"post_swap_dyn_ratio\": {}, \"pre_swap_squash_per_1k\": {}, \"post_swap_squash_per_1k\": {},\n",
+            num(r.pre_swap_dyn_ratio),
+            num(r.post_swap_dyn_ratio),
+            num(r.pre_swap_squash_per_1k),
+            num(r.post_swap_squash_per_1k),
+        ));
+        out.push_str(&format!(
+            "     \"recompilations_fast\": {}, \"recompilations_full\": {}, \"swaps_installed\": {}, \"candidates_rejected\": {}, \"recompile_failures\": {}, \"first_swap_at_tasks\": {}, \"swap_latency_micros_max\": {},\n",
+            r.recompilations_fast,
+            r.recompilations_full,
+            r.swaps_installed,
+            r.candidates_rejected,
+            r.recompile_failures,
+            r.first_swap_at_tasks,
+            r.swap_latency_micros_max,
+        ));
+        out.push_str(&format!(
+            "     \"speedup_frozen\": {}, \"speedup_adaptive\": {}}}{}\n",
+            num(r.speedup_frozen),
+            num(r.speedup_adaptive),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stationary\": [\n");
+    for (i, r) in stationary.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scale\": {}, \"recompilations\": {}, \"swaps_installed\": {}, \"divergent_windows\": {}}}{}\n",
+            r.name,
+            r.scale,
+            r.recompilations,
+            r.swaps_installed,
+            r.divergent_windows,
+            if i + 1 < stationary.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"geomean_dyn_improvement\": {},\n",
+        num(adaptive_dyn_improvement(records))
+    ));
+    let max_stationary = stationary
+        .iter()
+        .map(|r| r.recompilations)
+        .max()
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "  \"max_stationary_recompilations\": {max_stationary}\n"
     ));
     out.push_str("}\n");
     out
@@ -663,6 +1026,52 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(threaded_geomean_speedup(&records, 2), 2.0);
+    }
+
+    #[test]
+    fn adaptive_json_is_well_formed() {
+        let records = vec![AdaptiveRecord {
+            name: "phase_flip".to_string(),
+            scale: 3000,
+            phase_b: 3000,
+            frozen_dyn_ratio: 1.4,
+            frozen_squash_per_1k: 480.0,
+            adaptive_dyn_ratio: 0.7,
+            adaptive_squash_per_1k: 12.0,
+            pre_swap_dyn_ratio: 0.6,
+            post_swap_dyn_ratio: 0.65,
+            pre_swap_squash_per_1k: 40.0,
+            post_swap_squash_per_1k: 2.0,
+            recompilations_fast: 1,
+            recompilations_full: 1,
+            swaps_installed: 2,
+            candidates_rejected: 0,
+            recompile_failures: 0,
+            first_swap_at_tasks: 192,
+            swap_latency_micros_max: 850,
+            speedup_frozen: 1.05,
+            speedup_adaptive: 1.30,
+        }];
+        let stationary = vec![StationaryRecord {
+            name: "gzip_like".to_string(),
+            scale: 4096,
+            recompilations: 0,
+            swaps_installed: 0,
+            divergent_windows: 0,
+        }];
+        let json = render_adaptive_json(&records, &stationary, 16);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"mssp-bench-adaptive/v1\""));
+        assert!(json.contains("\"frozen_dyn_ratio\": 1.400000"));
+        assert!(json.contains("\"adaptive_dyn_ratio\": 0.700000"));
+        assert!(json.contains("\"swaps_installed\": 2"));
+        assert!(json.contains("\"first_swap_at_tasks\": 192"));
+        assert!(json.contains("\"geomean_dyn_improvement\": 2.000000"));
+        assert!(json.contains("\"max_stationary_recompilations\": 0"));
+        // Balanced braces/brackets — a cheap structural sanity check for
+        // the hand-rolled emitter.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

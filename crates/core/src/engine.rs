@@ -27,11 +27,14 @@
 //!   guaranteeing forward progress no matter how wrong the master is.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
-use mssp_distill::Distilled;
-use mssp_isa::Program;
+use mssp_distill::{Distilled, Tier};
+use mssp_isa::{Program, Reg};
 use mssp_machine::{step, Cell, Delta, Fault, MachineState};
 
+use crate::adaptive::{AdaptiveController, AdaptiveReport, Recompiler};
 use crate::master::{Master, MasterStall};
 use crate::predictor::{Predictor, PredictorReport};
 use crate::task::{BoundarySet, RecoveryStorage, Task, TaskEnd, TaskId, TaskStatus};
@@ -254,6 +257,18 @@ pub struct EngineStats {
     /// an asserted branch against its assertion inside the task window
     /// (each veto hands the window to a sequential recovery segment).
     pub spawn_vetoes: u64,
+    /// Fast-tier (DCE-only) adaptive recompilations that produced a
+    /// valid, installed candidate.
+    pub recompilations_fast: u64,
+    /// Full-pipeline adaptive recompilations that produced a valid,
+    /// installed candidate.
+    pub recompilations_full: u64,
+    /// Distilled-program hot-swaps installed at task boundaries.
+    pub swaps_installed: u64,
+    /// In-flight tasks abandoned by hot-swaps (counted separately from
+    /// squashes: a swap is not a misprediction, and the squash-rate
+    /// gates must not see it as one).
+    pub swap_abandoned_tasks: u64,
 }
 
 impl EngineStats {
@@ -349,6 +364,9 @@ pub struct MsspRun {
     /// Final accuracy summary of the live-in value predictor (all zeros
     /// when the predictor was disabled or never trained).
     pub predictor_report: PredictorReport,
+    /// Adaptive re-distillation summary, if enabled with
+    /// [`Engine::enable_adaptive`].
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 /// Engine failure.
@@ -381,6 +399,22 @@ impl std::error::Error for EngineError {}
 struct SlaveCtx {
     busy_until: u64,
     task: Option<TaskId>,
+}
+
+/// The adaptive loop's engine-side state: the controller plus the
+/// injected recompiler. Split out so the boxed closure (not `Debug`) can
+/// hide behind a manual impl.
+struct AdaptiveHook {
+    ctl: AdaptiveController,
+    recompiler: Recompiler,
+}
+
+impl std::fmt::Debug for AdaptiveHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveHook")
+            .field("ctl", &self.ctl)
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
@@ -464,6 +498,11 @@ pub struct Engine<'a, C> {
     squash_samples: Option<Vec<SquashSample>>,
     /// Committed task sizes (instructions), recorded when enabled.
     task_sizes: Option<Vec<u64>>,
+    /// Adaptive re-distillation state, when enabled.
+    adaptive: Option<AdaptiveHook>,
+    /// The currently hot-swapped distilled program; `None` means the
+    /// offline program the engine was built with is still installed.
+    swapped: Option<Arc<Distilled>>,
 }
 
 /// A recorded live-in verification failure (diagnostics).
@@ -546,7 +585,30 @@ impl<'a, C: CostModel> Engine<'a, C> {
             mismatch_samples: None,
             squash_samples: None,
             task_sizes: None,
+            adaptive: None,
+            swapped: None,
         }
+    }
+
+    /// Enables online adaptive re-distillation: `controller` detects
+    /// divergence and paces the tier state machine, `recompiler`
+    /// produces candidate programs from the live profile (callers wire
+    /// it to `mssp-lint`'s `redistill_validated`, so every candidate
+    /// passes the soundness gate). The discrete engine recompiles
+    /// synchronously at the requesting task boundary — deterministically,
+    /// for differential testing against the threaded executor.
+    pub fn enable_adaptive(&mut self, controller: AdaptiveController, recompiler: Recompiler) {
+        self.adaptive = Some(AdaptiveHook {
+            ctl: controller,
+            recompiler,
+        });
+    }
+
+    /// The distilled program the master is currently running (the latest
+    /// hot-swap, or the offline program).
+    #[must_use]
+    pub fn current_distilled(&self) -> &Distilled {
+        self.swapped.as_deref().unwrap_or(self.distilled)
     }
 
     /// Enables recording of every committed task's instruction count (for
@@ -633,6 +695,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 squash_samples: self.squash_samples,
                 task_sizes: self.task_sizes,
                 predictor_report: self.predictor.report(),
+                adaptive: self.adaptive.map(|h| h.ctl.into_report()),
             },
             self.cost,
         ))
@@ -653,6 +716,11 @@ impl<'a, C: CostModel> Engine<'a, C> {
             arch: &self.arch,
         };
         let info = step(&mut storage, self.original, pc).map_err(EngineError::RecoveryFault)?;
+        if let Some(ad) = &mut self.adaptive {
+            // Recovery is verified, non-speculative execution: feed the
+            // live profile and the cold-code divergence signal.
+            ad.ctl.observe_recovery_step(&info);
+        }
         let cost = self.cost.instr_cost(CoreRole::Recovery(0), &info).max(1);
         rec.busy_until = self.now + cost;
         self.stats.recovery_busy_cycles += cost;
@@ -683,6 +751,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
         if let Some(trace) = &mut self.commit_trace {
             trace.push(end_pc);
         }
+        if let Some(ad) = &mut self.adaptive {
+            ad.ctl.observe_recovery_segment();
+        }
         if halted {
             self.arch_halted = true;
             return;
@@ -700,11 +771,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
         // squash.)
         if self.master.status() != MasterStall::Active {
             self.stats.spawn_vetoes += self.master.take_vetoed_spawns();
-            self.master = Master::restart_at(self.distilled, end_pc, true, self.arch.clone());
+            let cur = self.swapped.as_deref().unwrap_or(self.distilled);
+            self.master = Master::restart_at(cur, end_pc, true, self.arch.clone());
             self.master_busy_until = self.now;
             self.master_since_spawn = 0;
             self.last_spawned = None;
         }
+        // A recovery end is a consistent task boundary — the discrete
+        // engine's second swap point (alongside commits).
+        self.try_adaptive_swap();
     }
 
     fn act_verify(&mut self) -> bool {
@@ -716,6 +791,10 @@ impl<'a, C: CostModel> Engine<'a, C> {
         };
         // Wrong-path detection does not wait for the task to finish.
         if task.start_pc != self.arch.pc() {
+            if let Some(ad) = &mut self.adaptive {
+                ad.ctl
+                    .observe_squash(SquashReason::WrongPath, self.arch.pc(), &[]);
+            }
             self.record_squash_sample(SquashReason::WrongPath, Vec::new());
             self.squash_and_recover(SquashReason::WrongPath);
             return true;
@@ -732,7 +811,8 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 if reason == SquashReason::LiveInMismatch {
                     let want_cells = self.mismatch_samples.is_some()
                         || self.squash_samples.is_some()
-                        || self.config.enable_predictor;
+                        || self.config.enable_predictor
+                        || self.adaptive.is_some();
                     if want_cells {
                         mismatch_cells = task.live_ins.mismatches_against(&self.arch);
                     }
@@ -771,6 +851,16 @@ impl<'a, C: CostModel> Engine<'a, C> {
                             }
                         }
                     }
+                }
+                if let Some(ad) = &mut self.adaptive {
+                    let regs: Vec<Reg> = mismatch_cells
+                        .iter()
+                        .filter_map(|&(c, _, _)| match c {
+                            Cell::Reg(r) => Some(r),
+                            _ => None,
+                        })
+                        .collect();
+                    ad.ctl.observe_squash(reason, self.arch.pc(), &regs);
                 }
                 self.record_squash_sample(reason, mismatch_cells);
                 self.squash_and_recover(reason);
@@ -813,8 +903,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 if let Some(trace) = &mut self.commit_trace {
                     trace.push(end_pc);
                 }
+                if let Some(ad) = &mut self.adaptive {
+                    ad.ctl.observe_commit(task.executed);
+                }
                 if halted {
                     self.arch_halted = true;
+                } else {
+                    // Commits are the primary swap point: architected
+                    // state sits at a consistent task boundary.
+                    self.try_adaptive_swap();
                 }
                 true
             }
@@ -934,7 +1031,10 @@ impl<'a, C: CostModel> Engine<'a, C> {
             self.master.mark_lost();
             return true;
         }
-        match self.master.step(self.distilled) {
+        match self
+            .master
+            .step(self.swapped.as_deref().unwrap_or(self.distilled))
+        {
             Some(info) => {
                 let cost = self.cost.instr_cost(CoreRole::Master, &info).max(1);
                 self.master_busy_until = self.now + cost;
@@ -1033,6 +1133,73 @@ impl<'a, C: CostModel> Engine<'a, C> {
             busy_until: self.now + penalty,
         });
         self.stats.recovery_segments += 1;
+    }
+
+    // ---- adaptive hot-swap ------------------------------------------------
+
+    /// If the controller has an outstanding recompile request, runs the
+    /// recompiler synchronously and installs the candidate (when it
+    /// validates) at the current task boundary.
+    fn try_adaptive_swap(&mut self) {
+        let Some(ad) = &mut self.adaptive else {
+            return;
+        };
+        let Some(tier) = ad.ctl.take_request() else {
+            return;
+        };
+        let started = Instant::now();
+        let installable = match (ad.recompiler)(ad.ctl.live_profile(), tier) {
+            Ok(d) if ad.ctl.validate_candidate(&d) => {
+                ad.ctl.note_recompiled(tier, true);
+                Some(Arc::new(d))
+            }
+            Ok(_) => {
+                ad.ctl.note_candidate_rejected(tier);
+                None
+            }
+            Err(_) => {
+                ad.ctl.note_recompiled(tier, false);
+                None
+            }
+        };
+        if let Some(d) = installable {
+            self.install_swap(d, tier, started);
+        }
+    }
+
+    /// Installs a validated candidate: abandons in-flight tasks exactly
+    /// like a squash (their predictions came from the outgoing program)
+    /// and restarts the master on the new program from architected state.
+    /// No recovery segment is needed — unlike a squash, architected state
+    /// already sits at a consistent task boundary.
+    fn install_swap(&mut self, d: Arc<Distilled>, tier: Tier, started: Instant) {
+        self.stats.swap_abandoned_tasks += self.tasks.len() as u64;
+        for task in &self.tasks {
+            self.stats.wasted_slave_instructions += task.executed;
+        }
+        for (i, slave) in self.slaves.iter_mut().enumerate() {
+            if slave.task.take().is_some() {
+                self.cost.on_squash(CoreRole::Slave(i));
+                slave.busy_until = self.now;
+            }
+        }
+        self.tasks.clear();
+        self.stats.spawn_vetoes += self.master.take_vetoed_spawns();
+        self.swapped = Some(d);
+        self.stats.swaps_installed += 1;
+        match tier {
+            Tier::Fast => self.stats.recompilations_fast += 1,
+            Tier::Full => self.stats.recompilations_full += 1,
+        }
+        let cur = self.swapped.as_deref().expect("just installed");
+        self.master = Master::restart_at(cur, self.arch.pc(), true, self.arch.clone());
+        self.master_busy_until = self.now;
+        self.master_since_spawn = 0;
+        self.last_spawned = None;
+        if let Some(ad) = &mut self.adaptive {
+            let latency = started.elapsed().as_micros() as u64;
+            ad.ctl.note_swap_installed(tier, latency, self.stats);
+        }
     }
 
     fn start_starvation_recovery(&mut self) {

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod adaptive;
 pub mod chan;
 mod cost;
 mod engine;
@@ -54,6 +55,7 @@ mod sync;
 mod task;
 mod threaded;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, AdaptiveReport, Recompiler, SwapMarker};
 pub use cost::{CoreRole, CostModel, UnitCost};
 pub use engine::{
     verify_and_commit, Engine, EngineConfig, EngineError, EngineStats, MismatchSample, MsspRun,
@@ -65,4 +67,4 @@ pub use refinement::{check_refinement, RefinementError};
 pub use task::{
     BoundarySet, RecoveryStorage, SegmentRules, Task, TaskEnd, TaskId, TaskStatus, TaskStorage,
 };
-pub use threaded::{run_threaded, ThreadedError, ThreadedRun};
+pub use threaded::{run_threaded, run_threaded_adaptive, ThreadedError, ThreadedRun};

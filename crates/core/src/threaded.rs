@@ -94,12 +94,15 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
-use mssp_distill::Distilled;
+use mssp_analysis::Profile;
+use mssp_distill::{Distilled, Tier};
 use mssp_isa::Program;
 use mssp_machine::{expand_mask, step, Cell, Delta, DeltaArena, MachineState};
 
+use crate::adaptive::{AdaptiveController, AdaptiveReport, Recompiler};
 use crate::master::{Master, MasterStall};
 use crate::predictor::Predictor;
 use crate::ring::{self, MpscReceiver, MpscSender, SpscReceiver, SpscSender, TryRecvError};
@@ -169,6 +172,9 @@ pub struct ThreadedRun {
     pub stats: EngineStats,
     /// Wall-clock duration of the run.
     pub elapsed: std::time::Duration,
+    /// Adaptive re-distillation summary, when the run used
+    /// [`run_threaded_adaptive`].
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 struct WorkItem {
@@ -221,6 +227,9 @@ enum CtrlMsg {
         gen: u64,
         pc: u64,
         base: Box<MachineState>,
+        /// A hot-swapped distilled program to install before restarting;
+        /// `None` restarts on whatever the master currently runs.
+        swap: Option<Arc<Distilled>>,
     },
     Committed {
         gen: u64,
@@ -395,6 +404,100 @@ fn recycle_result(arena: &mut DeltaArena, r: WorkResult) {
     arena.put(std::mem::take(&mut task.writes));
 }
 
+/// How the coordinator obtains recompiled candidates.
+/// The background recompile thread's half of the adaptive control
+/// plane: request receiver, result sender, and the recompiler to run.
+type RecompileWorker = (
+    mpsc::Receiver<(Profile, Tier)>,
+    mpsc::Sender<(Tier, Result<Distilled, String>)>,
+    Recompiler,
+);
+
+enum RecompileMode {
+    /// Run the recompiler inline on the coordinator at the requesting
+    /// task boundary. Blocks commits for the duration — used for
+    /// deterministic differential testing against the discrete engine.
+    Sync(Recompiler),
+    /// Ship `(profile snapshot, tier)` to a background recompile thread
+    /// and harvest the candidate at a later task boundary; the hot path
+    /// never waits. The channel is plain std `mpsc` — recompiles are
+    /// rare control-plane events, not dispatch/commit traffic.
+    Async {
+        req_tx: mpsc::Sender<(Profile, Tier)>,
+        res_rx: mpsc::Receiver<(Tier, Result<Distilled, String>)>,
+        /// The in-flight request, for latency accounting; also gates new
+        /// sends (the controller's `Pending` phase means at most one).
+        sent_at: Option<(Tier, Instant)>,
+    },
+}
+
+/// The coordinator's adaptive state: divergence controller + recompile
+/// transport.
+struct ThreadedAdaptive {
+    ctl: AdaptiveController,
+    mode: RecompileMode,
+}
+
+/// Pumps the adaptive loop at a task boundary: harvests a finished
+/// background recompile, services a newly requested one, and returns a
+/// validated candidate ready to install as `(program, tier,
+/// latency_micros)`.
+fn adaptive_pump(ad: &mut ThreadedAdaptive) -> Option<(Arc<Distilled>, Tier, u64)> {
+    if let RecompileMode::Async {
+        res_rx, sent_at, ..
+    } = &mut ad.mode
+    {
+        if sent_at.is_some() {
+            if let Ok((tier, result)) = res_rx.try_recv() {
+                let (_, started) = sent_at.take().expect("request was in flight");
+                let latency = started.elapsed().as_micros() as u64;
+                match result {
+                    Ok(d) if ad.ctl.validate_candidate(&d) => {
+                        ad.ctl.note_recompiled(tier, true);
+                        return Some((Arc::new(d), tier, latency));
+                    }
+                    Ok(_) => ad.ctl.note_candidate_rejected(tier),
+                    Err(_) => ad.ctl.note_recompiled(tier, false),
+                }
+            }
+        }
+    }
+    let tier = ad.ctl.take_request()?;
+    match &mut ad.mode {
+        RecompileMode::Sync(rec) => {
+            let started = Instant::now();
+            match rec(ad.ctl.live_profile(), tier) {
+                Ok(d) if ad.ctl.validate_candidate(&d) => {
+                    ad.ctl.note_recompiled(tier, true);
+                    Some((Arc::new(d), tier, started.elapsed().as_micros() as u64))
+                }
+                Ok(_) => {
+                    ad.ctl.note_candidate_rejected(tier);
+                    None
+                }
+                Err(_) => {
+                    ad.ctl.note_recompiled(tier, false);
+                    None
+                }
+            }
+        }
+        RecompileMode::Async {
+            req_tx, sent_at, ..
+        } => {
+            if sent_at.is_none() {
+                if req_tx.send((ad.ctl.live_profile().clone(), tier)).is_ok() {
+                    *sent_at = Some((tier, Instant::now()));
+                } else {
+                    // Recompile thread is gone; re-arm so the run can
+                    // keep going on the installed program.
+                    ad.ctl.note_recompiled(tier, false);
+                }
+            }
+            None
+        }
+    }
+}
+
 /// Runs the MSSP protocol with `config.num_slaves` worker threads plus a
 /// dedicated master thread; the calling thread becomes the verify/commit
 /// coordinator.
@@ -416,6 +519,49 @@ pub fn run_threaded(
     distilled: &Distilled,
     config: EngineConfig,
 ) -> Result<ThreadedRun, ThreadedError> {
+    run_threaded_inner(original, distilled, config, None)
+}
+
+/// [`run_threaded`] with online adaptive re-distillation: `controller`
+/// watches the run for divergence from the training profile and
+/// `recompiler` produces candidate distilled programs from the live
+/// profile (callers wire it to `mssp-lint`'s `redistill_validated`, so
+/// every installed program passed the soundness gate). Candidates are
+/// installed at commit/recovery task boundaries by bumping the squash
+/// epoch — in-flight speculation is abandoned exactly like a squash, and
+/// the master restarts on the new program from architected state.
+///
+/// With `synchronous` set, recompilation runs inline on the coordinator
+/// at the requesting boundary — deterministic, for differential testing
+/// against the discrete engine. Otherwise a background recompile thread
+/// keeps it off the hot path.
+///
+/// # Errors
+///
+/// Same as [`run_threaded`]; a panicking recompiler also surfaces as
+/// [`ThreadedError::WorkerDied`].
+pub fn run_threaded_adaptive(
+    original: &Program,
+    distilled: &Distilled,
+    config: EngineConfig,
+    controller: AdaptiveController,
+    recompiler: Recompiler,
+    synchronous: bool,
+) -> Result<ThreadedRun, ThreadedError> {
+    run_threaded_inner(
+        original,
+        distilled,
+        config,
+        Some((controller, recompiler, synchronous)),
+    )
+}
+
+fn run_threaded_inner(
+    original: &Program,
+    distilled: &Distilled,
+    config: EngineConfig,
+    adaptive: Option<(AdaptiveController, Recompiler, bool)>,
+) -> Result<ThreadedRun, ThreadedError> {
     assert!(config.num_slaves > 0, "MSSP needs at least one slave");
     let start_time = std::time::Instant::now();
     let boundaries = Arc::new(BoundarySet::new(distilled.boundaries().clone()));
@@ -433,6 +579,28 @@ pub fn run_threaded(
         let (tx, rx) = ring::spsc::<WorkItem>(WORK_RING_CAP);
         work_txs.push(tx);
         work_rxs.push(rx);
+    }
+    let mut hook: Option<ThreadedAdaptive> = None;
+    let mut recompile_worker: Option<RecompileWorker> = None;
+    if let Some((ctl, rec, synchronous)) = adaptive {
+        if synchronous {
+            hook = Some(ThreadedAdaptive {
+                ctl,
+                mode: RecompileMode::Sync(rec),
+            });
+        } else {
+            let (req_tx, req_rx) = mpsc::channel();
+            let (res_tx, res_rx) = mpsc::channel();
+            hook = Some(ThreadedAdaptive {
+                ctl,
+                mode: RecompileMode::Async {
+                    req_tx,
+                    res_rx,
+                    sent_at: None,
+                },
+            });
+            recompile_worker = Some((req_rx, res_tx, rec));
+        }
     }
 
     std::thread::scope(|scope| -> Result<ThreadedRun, ThreadedError> {
@@ -459,6 +627,17 @@ pub fn run_threaded(
                 );
             }));
         }
+
+        // ---- background recompiler (adaptive async mode) ----
+        let recompile_handle = recompile_worker.map(|(req_rx, res_tx, mut rec)| {
+            scope.spawn(move || {
+                while let Ok((profile, tier)) = req_rx.recv() {
+                    if res_tx.send((tier, rec(&profile, tier))).is_err() {
+                        return;
+                    }
+                }
+            })
+        });
 
         // ---- master ----
         let master_handle = {
@@ -487,6 +666,7 @@ pub fn run_threaded(
             &mut coord_rx,
             &mut ctrl_tx,
             &mut stats,
+            hook.as_mut(),
         );
 
         // Shut down regardless of outcome: stragglers abandon at the next
@@ -512,6 +692,18 @@ pub fn run_threaded(
             }
             Err(_) => thread_died = true,
         }
+        // Consuming the hook drops the request sender, which ends the
+        // recompile thread's recv loop; join it before returning.
+        let adaptive_report = hook.map(|h| {
+            let ThreadedAdaptive { ctl, mode } = h;
+            drop(mode);
+            ctl.into_report()
+        });
+        if let Some(handle) = recompile_handle {
+            if handle.join().is_err() {
+                thread_died = true;
+            }
+        }
         let state = outcome?;
         if thread_died {
             return Err(ThreadedError::WorkerDied);
@@ -520,6 +712,7 @@ pub fn run_threaded(
             state,
             stats,
             elapsed: start_time.elapsed(),
+            adaptive: adaptive_report,
         })
     })
 }
@@ -609,6 +802,8 @@ fn master_thread(
     // slice, so restarts and early returns never lose them.
     let mut vetoes = 0u64;
     let mut cur: Option<(u64, Master)> = None;
+    // The latest hot-swapped program; `None` means the offline one.
+    let mut swapped: Option<Arc<Distilled>> = None;
     let mut last_spawned: Option<u64> = None;
     let mut next_id = 0u64;
     let mut steps_since_spawn = 0u64;
@@ -649,8 +844,17 @@ fn master_thread(
                 }
             };
             match msg {
-                CtrlMsg::Restart { gen, pc, base } => {
-                    cur = Some((gen, Master::restart_at(distilled, pc, true, *base)));
+                CtrlMsg::Restart {
+                    gen,
+                    pc,
+                    base,
+                    swap,
+                } => {
+                    if let Some(d) = swap {
+                        swapped = Some(d);
+                    }
+                    let cur_d = swapped.as_deref().unwrap_or(distilled);
+                    cur = Some((gen, Master::restart_at(cur_d, pc, true, *base)));
                     last_spawned = None;
                     steps_since_spawn = 0;
                     stall_reported = false;
@@ -694,7 +898,10 @@ fn master_thread(
                 }
                 continue;
             }
-            if master.step(distilled).is_some() {
+            if master
+                .step(swapped.as_deref().unwrap_or(distilled))
+                .is_some()
+            {
                 total += 1;
                 steps_since_spawn += 1;
                 if steps_since_spawn > master_runahead {
@@ -722,6 +929,7 @@ fn coordinate(
     coord_rx: &mut MpscReceiver<CoordMsg>,
     ctrl_tx: &mut SpscSender<CtrlMsg>,
     stats: &mut EngineStats,
+    mut adaptive: Option<&mut ThreadedAdaptive>,
 ) -> Result<MachineState, ThreadedError> {
     let mut arena = DeltaArena::new();
     let mut arch = MachineState::boot(original);
@@ -760,6 +968,7 @@ fn coordinate(
         gen: epoch,
         pc: virt_pc,
         base: Box::new(arch.clone()),
+        swap: None,
     };
     if ctrl_tx.send(boot_restart).is_err() {
         return Err(ThreadedError::WorkerDied);
@@ -991,6 +1200,50 @@ fn coordinate(
                         halted = true;
                         break 'commit;
                     }
+                    if let Some(ad) = adaptive.as_deref_mut() {
+                        ad.ctl.observe_commit(task.executed);
+                        if let Some((d, tier, latency)) = adaptive_pump(ad) {
+                            // Install at this commit boundary: abandon
+                            // in-flight speculation exactly like a squash
+                            // (epoch bump) — but with no recovery segment,
+                            // because architected state already sits at
+                            // the task boundary just committed.
+                            stats.swap_abandoned_tasks += in_flight.len() as u64;
+                            epoch += 1;
+                            // why: Relaxed; advisory abandon hint — stale
+                            // results are filtered by their message epoch
+                            // tag regardless.
+                            current_epoch.store(epoch, Ordering::Relaxed);
+                            in_flight.clear();
+                            for (_, r) in done.drain(..) {
+                                recycle_result(&mut arena, r);
+                            }
+                            master_stalled = false;
+                            flush_commits(&mut arch, &log, &mut applied_seq, virt_pc);
+                            log.clear_window(&mut arena);
+                            folded.clear();
+                            base = Arc::new(arch.clone());
+                            base_seq = log.seq();
+                            pending_cells = 0;
+                            stats.snapshots_materialized += 1;
+                            stats.swaps_installed += 1;
+                            match tier {
+                                Tier::Fast => stats.recompilations_fast += 1,
+                                Tier::Full => stats.recompilations_full += 1,
+                            }
+                            ad.ctl.note_swap_installed(tier, latency, *stats);
+                            let restart = CtrlMsg::Restart {
+                                gen: epoch,
+                                pc: virt_pc,
+                                base: Box::new(arch.clone()),
+                                swap: Some(d),
+                            };
+                            if ctrl_tx.send(restart).is_err() {
+                                return Err(ThreadedError::WorkerDied);
+                            }
+                            break 'commit;
+                        }
+                    }
                 }
                 VerifyOutcome::Squash(reason) => {
                     // Squash everything younger and run recovery.
@@ -1002,6 +1255,7 @@ fn coordinate(
                         SquashReason::Overrun => stats.squashes_overrun += 1,
                         SquashReason::Fault => stats.squashes_fault += 1,
                     }
+                    let mut squash_regs = Vec::new();
                     if reason == SquashReason::LiveInMismatch {
                         // `arch` is flushed (above), so the mismatch list
                         // carries verified architected truth — the only
@@ -1028,6 +1282,18 @@ fn coordinate(
                                 }
                             }
                         }
+                        if adaptive.is_some() {
+                            squash_regs = mismatch_cells
+                                .iter()
+                                .filter_map(|&(c, _, _)| match c {
+                                    Cell::Reg(r) => Some(r),
+                                    _ => None,
+                                })
+                                .collect();
+                        }
+                    }
+                    if let Some(ad) = adaptive.as_deref_mut() {
+                        ad.ctl.observe_squash(reason, virt_pc, &squash_regs);
                     }
                     epoch += 1;
                     // why: Relaxed; advisory squash hint — stale results
@@ -1047,7 +1313,11 @@ fn coordinate(
                         crossings_per_task,
                         &mut arch,
                         config.max_recovery_instrs,
+                        adaptive.as_deref_mut().map(|a| &mut a.ctl),
                     )?;
+                    if let Some(ad) = adaptive.as_deref_mut() {
+                        ad.ctl.observe_recovery_segment();
+                    }
                     stats.recovery_segments += 1;
                     stats.recovery_instructions += recovered.0;
                     stats.committed_instructions += recovered.0;
@@ -1062,10 +1332,26 @@ fn coordinate(
                     if recovered.1 {
                         halted = true;
                     } else {
+                        // The epoch is already bumped and speculation
+                        // already abandoned: a pending swap rides the
+                        // restart for free.
+                        let mut swap = None;
+                        if let Some(ad) = adaptive.as_deref_mut() {
+                            if let Some((d, tier, latency)) = adaptive_pump(ad) {
+                                stats.swaps_installed += 1;
+                                match tier {
+                                    Tier::Fast => stats.recompilations_fast += 1,
+                                    Tier::Full => stats.recompilations_full += 1,
+                                }
+                                ad.ctl.note_swap_installed(tier, latency, *stats);
+                                swap = Some(d);
+                            }
+                        }
                         let restart = CtrlMsg::Restart {
                             gen: epoch,
                             pc: virt_pc,
                             base: Box::new(arch.clone()),
+                            swap,
                         };
                         if ctrl_tx.send(restart).is_err() {
                             return Err(ThreadedError::WorkerDied);
@@ -1086,7 +1372,11 @@ fn coordinate(
                 crossings_per_task,
                 &mut arch,
                 config.max_recovery_instrs,
+                adaptive.as_deref_mut().map(|a| &mut a.ctl),
             )?;
+            if let Some(ad) = adaptive.as_deref_mut() {
+                ad.ctl.observe_recovery_segment();
+            }
             stats.recovery_segments += 1;
             stats.recovery_instructions += recovered.0;
             stats.committed_instructions += recovered.0;
@@ -1111,10 +1401,23 @@ fn coordinate(
             if recovered.1 {
                 halted = true;
             } else {
+                let mut swap = None;
+                if let Some(ad) = adaptive.as_deref_mut() {
+                    if let Some((d, tier, latency)) = adaptive_pump(ad) {
+                        stats.swaps_installed += 1;
+                        match tier {
+                            Tier::Fast => stats.recompilations_fast += 1,
+                            Tier::Full => stats.recompilations_full += 1,
+                        }
+                        ad.ctl.note_swap_installed(tier, latency, *stats);
+                        swap = Some(d);
+                    }
+                }
                 let restart = CtrlMsg::Restart {
                     gen: epoch,
                     pc: virt_pc,
                     base: Box::new(arch.clone()),
+                    swap,
                 };
                 if ctrl_tx.send(restart).is_err() {
                     return Err(ThreadedError::WorkerDied);
@@ -1139,12 +1442,15 @@ fn coordinate(
 
 /// Executes one non-speculative segment from the architected PC to the
 /// next task end, committing atomically. Returns (instructions, halted).
+/// `observer` (the adaptive controller, when enabled) sees every verified
+/// instruction — recovery is where a new program phase first shows up.
 fn run_recovery(
     original: &Program,
     boundaries: &BoundarySet,
     crossings_per_task: u64,
     arch: &mut MachineState,
     cap: u64,
+    mut observer: Option<&mut AdaptiveController>,
 ) -> Result<(u64, bool), EngineError> {
     let mut writes = mssp_machine::Delta::new();
     let mut pc = arch.pc();
@@ -1158,6 +1464,9 @@ fn run_recovery(
             };
             step(&mut storage, original, pc).map_err(EngineError::RecoveryFault)?
         };
+        if let Some(ctl) = observer.as_deref_mut() {
+            ctl.observe_recovery_step(&info);
+        }
         if info.halted {
             break true;
         }
@@ -1181,9 +1490,10 @@ fn run_recovery(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adaptive::AdaptiveConfig;
     use crate::UnitCost;
     use mssp_analysis::Profile;
-    use mssp_distill::{distill, DistillConfig};
+    use mssp_distill::{distill, redistill, DistillConfig};
     use mssp_isa::asm::assemble;
     use mssp_isa::Reg;
     use mssp_machine::SeqMachine;
@@ -1420,6 +1730,86 @@ mod tests {
         let stale: Delta = [(Cell::Mem(2), 20)].into_iter().collect();
         assert_eq!(pre_verify(&stale, Some(&view), &base), vec![Cell::Mem(2)]);
         assert!(pre_verify(&stale, None, &base).is_empty());
+    }
+
+    /// A recompiler for tests: re-runs the pinned-boundary pipeline on
+    /// the live profile at the requested tier.
+    fn test_recompiler(p: &Program, d: &Distilled) -> Recompiler {
+        let program = p.clone();
+        let dcfg = DistillConfig::default();
+        let boundaries = d.boundaries().clone();
+        let crossings = d.crossings_per_task().max(1);
+        Box::new(move |profile, tier| {
+            redistill(
+                &program,
+                profile,
+                &tier.apply(&dcfg),
+                &boundaries,
+                crossings,
+            )
+            .map_err(|e| e.to_string())
+        })
+    }
+
+    #[test]
+    fn adaptive_stationary_run_recompiles_nothing() {
+        let (p, d) = fixture();
+        let profile = Profile::collect(&p, u64::MAX).unwrap();
+        let ctl = AdaptiveController::new(AdaptiveConfig::default(), &d, &profile);
+        // A recompiler that must never run: stationary behaviour matching
+        // the training profile gives the controller no reason to act.
+        let rec: Recompiler = Box::new(|_, _| Err("recompiled a stationary run".into()));
+        let run = run_threaded_adaptive(&p, &d, EngineConfig::default(), ctl, rec, true).unwrap();
+        let mut seq = SeqMachine::boot(&p);
+        seq.run(u64::MAX).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        let report = run.adaptive.expect("adaptive run carries a report");
+        assert_eq!(report.recompilations(), 0, "{report:?}");
+        assert_eq!(report.recompile_failures, 0, "{report:?}");
+        assert_eq!(run.stats.swaps_installed, 0);
+    }
+
+    #[test]
+    fn adaptive_forced_swap_installs_and_preserves_state() {
+        let (p, d) = fixture();
+        let profile = Profile::collect(&p, u64::MAX).unwrap();
+        let config = AdaptiveConfig {
+            force_swap_at: vec![(5, Tier::Fast), (10, Tier::Full)],
+            ..AdaptiveConfig::default()
+        };
+        let ctl = AdaptiveController::new(config, &d, &profile);
+        let rec = test_recompiler(&p, &d);
+        let run = run_threaded_adaptive(&p, &d, EngineConfig::default(), ctl, rec, true).unwrap();
+        let mut seq = SeqMachine::boot(&p);
+        seq.run(u64::MAX).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        assert_eq!(run.stats.swaps_installed, 2, "{:?}", run.stats);
+        assert_eq!(run.stats.recompilations_fast, 1);
+        assert_eq!(run.stats.recompilations_full, 1);
+        let report = run.adaptive.unwrap();
+        assert_eq!(report.swaps.len(), 2);
+        assert_eq!(report.swaps[0].tier, Tier::Fast);
+        assert_eq!(report.swaps[0].at_committed_tasks, 5);
+        assert_eq!(report.swaps[1].tier, Tier::Full);
+    }
+
+    #[test]
+    fn adaptive_async_mode_stays_correct() {
+        let (p, d) = fixture();
+        let profile = Profile::collect(&p, u64::MAX).unwrap();
+        let config = AdaptiveConfig {
+            force_swap_at: vec![(5, Tier::Fast)],
+            ..AdaptiveConfig::default()
+        };
+        let ctl = AdaptiveController::new(config, &d, &profile);
+        let rec = test_recompiler(&p, &d);
+        // Background recompilation: the swap may or may not land before
+        // the run halts, but committed state is invariant either way.
+        let run = run_threaded_adaptive(&p, &d, EngineConfig::default(), ctl, rec, false).unwrap();
+        let mut seq = SeqMachine::boot(&p);
+        seq.run(u64::MAX).unwrap();
+        assert_eq!(run.state.reg(Reg::S1), seq.state().reg(Reg::S1));
+        assert!(run.adaptive.is_some());
     }
 
     #[test]

@@ -373,6 +373,50 @@ pub fn distill(
     profile: &Profile,
     config: &DistillConfig,
 ) -> Result<Distilled, DistillError> {
+    distill_pinned(program, profile, config, None)
+}
+
+/// Re-distills `program` against a fresher `profile` while *pinning* the
+/// task-boundary set and crossings-per-task grouping of an earlier
+/// distillation.
+///
+/// This is the online adaptive loop's re-entry point. Boundaries define
+/// the task segmentation that the engine's slaves, verify unit and
+/// recovery path all agree on; keeping them (and the crossing grouping)
+/// fixed means a hot-swapped distilled program changes only the *master's
+/// fast path* — branch assertions, cold-code elision and the optimizing
+/// pass pipeline re-run against current behaviour — while the slave
+/// protocol is untouched. Pinned boundary blocks are force-retained so
+/// every boundary keeps a distilled-PC mapping even if the new profile
+/// calls it cold.
+///
+/// `boundaries` must be block starts of `program` (true of any boundary
+/// set produced by [`distill`] on the same program).
+///
+/// # Errors
+///
+/// Same failure modes as [`distill`].
+pub fn redistill(
+    program: &Program,
+    profile: &Profile,
+    config: &DistillConfig,
+    boundaries: &BTreeSet<u64>,
+    crossings_per_task: u64,
+) -> Result<Distilled, DistillError> {
+    distill_pinned(
+        program,
+        profile,
+        config,
+        Some((boundaries, crossings_per_task)),
+    )
+}
+
+fn distill_pinned(
+    program: &Program,
+    profile: &Profile,
+    config: &DistillConfig,
+    pin: Option<(&BTreeSet<u64>, u64)>,
+) -> Result<Distilled, DistillError> {
     let cfg = Cfg::build(program);
     let dom = Dominators::compute(&cfg);
 
@@ -449,6 +493,18 @@ pub fn distill(
             .filter(|(_, b)| profile.exec_count(b.start) > 0)
             .map(|(bid, _)| bid),
     );
+    // Pinned boundaries (re-distillation) must keep their distilled-PC
+    // mapping even when the fresher profile no longer reaches them, so
+    // their blocks join the retention roots.
+    if let Some((fixed, _)) = pin {
+        stack.extend(
+            cfg.blocks()
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| fixed.contains(&b.start))
+                .map(|(bid, _)| bid),
+        );
+    }
     while let Some(b) = stack.pop() {
         if std::mem::replace(&mut retained[b], true) {
             continue;
@@ -457,19 +513,24 @@ pub fn distill(
     }
     let removed_blocks = retained.iter().filter(|r| !**r).count();
 
-    // --- Pass 3: boundaries (restricted to retained blocks). ---
-    let retained_starts: BTreeSet<u64> = cfg
-        .blocks()
-        .iter()
-        .enumerate()
-        .filter(|(bid, _)| retained[*bid])
-        .map(|(_, b)| b.start)
-        .collect();
-    let boundaries: BTreeSet<u64> =
-        select_boundaries(program, &cfg, &dom, profile, config.target_task_size)
-            .intersection(&retained_starts)
-            .copied()
-            .collect();
+    // --- Pass 3: boundaries (restricted to retained blocks), or the
+    // pinned set verbatim when re-distilling. ---
+    let boundaries: BTreeSet<u64> = match pin {
+        Some((fixed, _)) => fixed.clone(),
+        None => {
+            let retained_starts: BTreeSet<u64> = cfg
+                .blocks()
+                .iter()
+                .enumerate()
+                .filter(|(bid, _)| retained[*bid])
+                .map(|(_, b)| b.start)
+                .collect();
+            select_boundaries(program, &cfg, &dom, profile, config.target_task_size)
+                .intersection(&retained_starts)
+                .copied()
+                .collect()
+        }
+    };
 
     // --- Pass 4: build the relocatable IR. ---
     let mut blocks: Vec<DBlock> = Vec::new();
@@ -604,12 +665,16 @@ pub fn distill(
         .collect();
 
     // --- Pass 7: pre-computation slices (squash-feedback-gated). ---
+    let crossings_per_task = match pin {
+        Some((_, n)) => n.max(1),
+        None => crossings_per_task_of(profile, &boundaries, config),
+    };
     let slices = compute_slices(
         program,
         &cfg,
         profile,
         &boundaries,
-        crossings_per_task_of(profile, &boundaries, config),
+        crossings_per_task,
         config,
     );
 
@@ -629,8 +694,6 @@ pub fn distill(
         pipeline_iterations: counters.iterations,
         slices_emitted: slices.values().map(Vec::len).sum(),
     };
-
-    let crossings_per_task = crossings_per_task_of(profile, &boundaries, config);
 
     Ok(Distilled {
         program: distilled_program,
@@ -841,6 +904,56 @@ mod tests {
         .unwrap();
         assert!(d.stats().asserted_branches >= 1);
         assert!(d.stats().dce_removed >= 1, "stats: {:?}", d.stats());
+    }
+
+    #[test]
+    fn redistill_pins_boundaries_and_crossings() {
+        let p = assemble(LOOPY).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let cfg = DistillConfig::at_level(DistillLevel::Aggressive);
+        let first = distill(&p, &prof, &cfg).unwrap();
+        // Re-distill against a much shorter (phase-truncated) profile:
+        // the boundary set and crossing grouping must survive verbatim,
+        // and every pinned boundary must stay mapped.
+        let short = Profile::collect(&p, 40).unwrap();
+        let second = redistill(
+            &p,
+            &short,
+            &cfg,
+            first.boundaries(),
+            first.crossings_per_task(),
+        )
+        .unwrap();
+        assert_eq!(second.boundaries(), first.boundaries());
+        assert_eq!(second.crossings_per_task(), first.crossings_per_task());
+        for &b in second.boundaries() {
+            let dist = second.to_dist(b).expect("pinned boundary retained");
+            assert_eq!(second.boundary_at_dist(dist), Some(b));
+        }
+    }
+
+    #[test]
+    fn redistill_with_empty_profile_keeps_boundaries_mapped() {
+        // The decayed-to-nothing extreme: no block is profile-hot, so
+        // retention rests entirely on the entry walk + pinned roots.
+        let p = assemble(LOOPY).unwrap();
+        let prof = Profile::collect(&p, u64::MAX).unwrap();
+        let cfg = DistillConfig::at_level(DistillLevel::Aggressive);
+        let first = distill(&p, &prof, &cfg).unwrap();
+        let second = redistill(
+            &p,
+            &Profile::empty(),
+            &cfg,
+            first.boundaries(),
+            first.crossings_per_task(),
+        )
+        .unwrap();
+        assert_eq!(second.boundaries(), first.boundaries());
+        for &b in second.boundaries() {
+            assert!(second.to_dist(b).is_some());
+        }
+        // An empty profile asserts nothing, so the image is conservative.
+        assert_eq!(second.stats().asserted_branches, 0);
     }
 
     #[test]

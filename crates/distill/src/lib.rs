@@ -46,7 +46,7 @@ mod passes;
 mod slice;
 
 pub use boundary::select_boundaries;
-pub use config::{DistillConfig, DistillLevel, PassConfig};
-pub use distill::{distill, DistillError, DistillStats, Distilled, DistilledRunError};
+pub use config::{DistillConfig, DistillLevel, PassConfig, Tier};
+pub use distill::{distill, redistill, DistillError, DistillStats, Distilled, DistilledRunError};
 pub use passes::PassDelta;
 pub use slice::{Slice, SliceKind, MAX_SLICE_LEN};

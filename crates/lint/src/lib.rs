@@ -61,8 +61,10 @@ mod lints;
 pub use diag::{AddrSpace, Diagnostic, LintId, Report, Severity};
 pub use lints::{boundary_live_ins, fires_at, lint, LintConfig};
 
+use std::collections::BTreeSet;
+
 use mssp_analysis::Profile;
-use mssp_distill::{distill, DistillConfig, DistillError, Distilled};
+use mssp_distill::{distill, redistill, DistillConfig, DistillError, Distilled, Tier};
 use mssp_isa::Program;
 
 /// Distills `program` and validates the output, rejecting distillations
@@ -85,6 +87,43 @@ pub fn distill_validated(
     lint_config: &LintConfig,
 ) -> Result<Distilled, DistillError> {
     let distilled = distill(program, profile, config)?;
+    gate(program, distilled, profile, lint_config)
+}
+
+/// Re-distills at the given tier with pinned boundaries and validates the
+/// output — [`mssp_distill::redistill`] behind the same soundness gate as
+/// [`distill_validated`].
+///
+/// This is the recompiler the online adaptive loop runs: every candidate
+/// distilled program must clear the full lint battery (including
+/// `slice-unsound`) before it is eligible for hot-swap, so a divergent
+/// live profile can cost performance but can never install a structurally
+/// broken master.
+///
+/// # Errors
+///
+/// Everything [`mssp_distill::redistill`] returns, plus
+/// [`DistillError::Unsound`] when validation fails.
+pub fn redistill_validated(
+    program: &Program,
+    profile: &Profile,
+    config: &DistillConfig,
+    tier: Tier,
+    boundaries: &BTreeSet<u64>,
+    crossings_per_task: u64,
+    lint_config: &LintConfig,
+) -> Result<Distilled, DistillError> {
+    let tiered = tier.apply(config);
+    let distilled = redistill(program, profile, &tiered, boundaries, crossings_per_task)?;
+    gate(program, distilled, profile, lint_config)
+}
+
+fn gate(
+    program: &Program,
+    distilled: Distilled,
+    profile: &Profile,
+    lint_config: &LintConfig,
+) -> Result<Distilled, DistillError> {
     let report = lint(program, &distilled, profile, lint_config);
     if report.has_errors() {
         return Err(DistillError::Unsound(

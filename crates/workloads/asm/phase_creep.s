@@ -1,0 +1,46 @@
+; phase_creep — a gradual behaviour drift for the adaptive
+; re-distillation benchmark. Phase A (SCALE iterations) never enters
+; the drift path, so an offline profile collected with BLEN = 0 asserts
+; the phase test and discards everything behind it. Across phase B
+; (BLEN iterations) the drift path's fire probability ramps linearly
+; from never to always: divergence from the training profile builds up
+; window by window instead of arriving as a step, exercising the
+; controller's windowed thresholds and profile decay rather than a
+; single squash storm.
+main:
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s4, SCALE              ; phase A iterations
+    li   s3, BLEN               ; phase B iterations (0 = training input)
+    add  s9, s4, s3             ; total iterations
+    mv   s1, zero               ; checksum
+    mv   s8, zero               ; instrumentation counter (dead)
+    mv   t0, zero               ; i
+loop:                           ; ---- per-item loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 33
+    andi t1, t1, 1023
+    blt  t0, s4, calm           ; phase A: always taken, asserted away
+    ; phase B: fire with probability (i - SCALE) / BLEN, ramping from
+    ; 0 to 1 as the phase progresses
+    sub  t3, t0, s4
+    slli t3, t3, 10
+    divu t3, t3, s3
+    srli t4, s7, 17
+    andi t4, t4, 1023
+    bltu t4, t3, drift
+calm:
+    add  s1, s1, t1
+    ; dead instrumentation, removed by distiller DCE
+    addi s8, s8, 1
+    addi t0, t0, 1
+    blt  t0, s9, loop
+    halt
+
+drift:                          ; cold in training, ramping hot in phase B
+    slli t2, t1, 1
+    add  t1, t1, t2
+    andi t1, t1, 4095
+    j    calm

@@ -1,0 +1,45 @@
+; phase_flip — a mid-run behaviour shift for the adaptive
+; re-distillation benchmark. One hot loop runs SCALE "phase A"
+; iterations and then BLEN "phase B" iterations. A mode guard never
+; fires in phase A — an offline profile collected with BLEN = 0 sees a
+; perfectly biased branch and a cold `mix` block, so the distiller
+; asserts the guard away and drops the block. In phase B the guard
+; fires on *every* iteration: the frozen master keeps predicting
+; accumulator values computed without the mix transform, and every
+; spawned task dies on a live-in mismatch until the program is
+; re-distilled from the live profile.
+main:
+    li   s5, 6364136223846793005
+    li   s6, 1442695040888963407
+    li   s7, SEED               ; LCG seed (parameterized)
+    li   s4, SCALE              ; phase A iterations
+    li   s3, BLEN               ; phase B iterations (0 = training input)
+    add  s9, s4, s3             ; total iterations
+    mv   s2, zero               ; mode: 0 = phase A, 1 = phase B
+    mv   s1, zero               ; checksum
+    mv   s8, zero               ; instrumentation counter (dead)
+    mv   t0, zero               ; i
+loop:                           ; ---- per-item loop (boundary) ----
+    mul  s7, s7, s5
+    add  s7, s7, s6
+    srli t1, s7, 33
+    andi t1, t1, 1023
+    bnez s2, mix                ; never taken in phase A: asserted away
+resume:
+    add  s1, s1, t1
+    ; dead instrumentation, removed by distiller DCE
+    addi s8, s8, 1
+    addi t0, t0, 1
+    ; the mode flips exactly once, when i reaches SCALE
+    blt  t0, s4, cont
+    addi s2, zero, 1
+cont:
+    blt  t0, s9, loop
+    halt
+
+mix:                            ; cold in training, hot in phase B
+    xor  t1, t1, s7
+    andi t1, t1, 2047
+    slli t2, t1, 2
+    add  t1, t1, t2
+    j    resume

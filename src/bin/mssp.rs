@@ -4,7 +4,7 @@
 //! ```text
 //! mssp workloads                         list bundled benchmarks
 //! mssp asm <file.s>                      assemble + disassemble a source file
-//! mssp run <file.s|workload> [scale] [--stats] [--no-predictor]
+//! mssp run <file.s|workload> [scale] [--stats] [--no-predictor] [--adaptive]
 //!                                        sequential execution
 //!                                        (--stats: also run the threaded
 //!                                        executor and report the O(delta)
@@ -12,11 +12,19 @@
 //!                                        per-cause squash histogram and
 //!                                        the live-in predictor counters;
 //!                                        --no-predictor: disable live-in
-//!                                        value prediction in that run)
+//!                                        value prediction in that run;
+//!                                        --adaptive: arm the online
+//!                                        re-distillation controller in the
+//!                                        threaded run and report its
+//!                                        recompile/hot-swap counters)
 //! mssp profile <file.s|workload>         dynamic profile summary
-//! mssp distill <file.s|workload> [--stats]
+//! mssp distill <file.s|workload> [--stats] [--tier fast|full]
 //!                                        show distillation at all levels
-//!                                        (--stats: per-pass pipeline deltas)
+//!                                        (--stats: per-pass pipeline deltas;
+//!                                        --tier: run the named recompilation
+//!                                        tier's pass pipeline instead —
+//!                                        `fast` is liveness DCE only, `full`
+//!                                        the complete optimizing pipeline)
 //! mssp lint <file.s|workload|all> [--json]
 //!                                        statically check distilled output
 //! mssp exec <file.s|workload> [slaves]   full MSSP timing run vs baseline
@@ -40,17 +48,22 @@ fn main() -> ExitCode {
                 scale_arg(&args),
                 args.iter().any(|a| a == "--stats"),
                 args.iter().any(|a| a == "--no-predictor"),
+                args.iter().any(|a| a == "--adaptive"),
             )
         }),
         Some("profile") => with_arg(&args, cmd_profile),
         Some("distill") => with_arg(&args, |t| {
-            cmd_distill(t, args.iter().any(|a| a == "--stats"))
+            cmd_distill(
+                t,
+                args.iter().any(|a| a == "--stats"),
+                flag_value(&args, "--tier"),
+            )
         }),
         Some("lint") => with_arg(&args, |t| cmd_lint(t, args.iter().any(|a| a == "--json"))),
         Some("exec") => with_arg(&args, |t| cmd_exec(t, scale_arg(&args))),
         _ => {
             eprintln!(
-                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n] [--json|--stats|--no-predictor]\n\
+                "usage: mssp <workloads|asm|run|profile|distill|lint|exec> [target] [n] [--json|--stats|--no-predictor|--adaptive|--tier fast|full]\n\
                  target: an .s file or a bundled workload name (`lint` also accepts `all`)"
             );
             return ExitCode::FAILURE;
@@ -74,6 +87,14 @@ fn with_arg(args: &[String], f: impl FnOnce(&str) -> Result<(), String>) -> Resu
 
 fn scale_arg(args: &[String]) -> Option<u64> {
     args.get(2).and_then(|s| s.parse().ok())
+}
+
+/// The value following a `--flag VALUE` pair, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Loads a program from an assembly file or a bundled workload name.
@@ -123,6 +144,7 @@ fn cmd_run(
     scale: Option<u64>,
     stats: bool,
     no_predictor: bool,
+    adaptive: bool,
 ) -> Result<(), String> {
     let p = load(target, scale)?;
     let mut m = SeqMachine::boot(&p);
@@ -130,7 +152,7 @@ fn cmd_run(
     println!("instructions: {}", summary.instructions);
     println!("checksum(s1): {:#x}", m.state().reg(Reg::S1));
     println!("final pc:     {:#x}", m.state().pc());
-    if stats {
+    if stats || adaptive {
         // Re-run under the threaded executor and report the O(delta)
         // verify/commit counters: how much of the memoization test the
         // coordinator actually performed, and how architected snapshots
@@ -141,7 +163,33 @@ fn cmd_run(
             enable_predictor: !no_predictor,
             ..EngineConfig::default()
         };
-        let run = run_threaded(&p, &d, engine_config).map_err(|e| e.to_string())?;
+        let run = if adaptive {
+            // Arm the online controller: divergence from the training
+            // profile triggers a lint-gated re-distillation and an epoch
+            // hot-swap at the next task boundary.
+            let ctl = AdaptiveController::new(AdaptiveConfig::default(), &d, &prof);
+            let program = p.clone();
+            let dcfg = DistillConfig::default();
+            let lcfg = LintConfig::default();
+            let boundaries = d.boundaries().clone();
+            let crossings = d.crossings_per_task().max(1);
+            let rec: Recompiler = Box::new(move |profile, tier| {
+                redistill_validated(
+                    &program,
+                    profile,
+                    &dcfg,
+                    tier,
+                    &boundaries,
+                    crossings,
+                    &lcfg,
+                )
+                .map_err(|e| e.to_string())
+            });
+            run_threaded_adaptive(&p, &d, engine_config, ctl, rec, false)
+                .map_err(|e| e.to_string())?
+        } else {
+            run_threaded(&p, &d, engine_config).map_err(|e| e.to_string())?
+        };
         if run.state.reg(Reg::S1) != m.state().reg(Reg::S1) {
             return Err("threaded checksum mismatch — correctness bug".into());
         }
@@ -187,6 +235,28 @@ fn cmd_run(
             s.predictor_accuracy(),
             s.spawn_vetoes
         );
+        if let Some(report) = &run.adaptive {
+            println!(
+                "  adaptive: {} fast / {} full recompiles, {} hot-swaps \
+                 ({} tasks abandoned), {} failures, {} rejected",
+                s.recompilations_fast,
+                s.recompilations_full,
+                s.swaps_installed,
+                s.swap_abandoned_tasks,
+                report.recompile_failures,
+                report.candidates_rejected
+            );
+            println!(
+                "  adaptive: {} windows observed, {} divergent",
+                report.windows, report.divergent_windows
+            );
+            for marker in &report.swaps {
+                println!(
+                    "    swap {:?} at task {} ({} us recompile+validate)",
+                    marker.tier, marker.at_committed_tasks, marker.latency_micros
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -225,9 +295,29 @@ fn cmd_profile(target: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_distill(target: &str, stats: bool) -> Result<(), String> {
+fn cmd_distill(target: &str, stats: bool, tier: Option<String>) -> Result<(), String> {
     let p = load(target, None)?;
     let prof = Profile::collect(&p, u64::MAX).map_err(|e| e.to_string())?;
+    if let Some(name) = tier {
+        // Show the named recompilation tier — the pass budget the online
+        // adaptive controller uses for hot-swap candidates.
+        let tier: Tier = name.parse()?;
+        let d = distill(&p, &prof, &tier.apply(&DistillConfig::default()))
+            .map_err(|e| e.to_string())?;
+        let s = d.stats();
+        println!(
+            "tier {tier:<8} static {:>4} -> {:>4} | asserted {:>2} | blocks -{:>2} | dce {:>3} | stores -{:>2} | boundaries {} x{}",
+            s.original_static,
+            s.distilled_static,
+            s.asserted_branches,
+            s.removed_blocks,
+            s.dce_removed,
+            s.stores_elided,
+            d.boundaries().len(),
+            d.crossings_per_task(),
+        );
+        return Ok(());
+    }
     for level in DistillLevel::all() {
         let d = distill(&p, &prof, &DistillConfig::at_level(level)).map_err(|e| e.to_string())?;
         let s = d.stats();

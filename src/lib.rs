@@ -61,13 +61,17 @@ pub use mssp_workloads as workloads;
 pub mod prelude {
     pub use mssp_analysis::{Cfg, Profile};
     pub use mssp_core::{
-        check_refinement, run_threaded, Engine, EngineConfig, EngineStats, MsspRun, UnitCost,
+        check_refinement, run_threaded, run_threaded_adaptive, AdaptiveConfig, AdaptiveController,
+        AdaptiveReport, Engine, EngineConfig, EngineStats, MsspRun, Recompiler, SwapMarker,
+        UnitCost,
     };
     pub use mssp_distill::{
-        distill, DistillConfig, DistillLevel, Distilled, PassConfig, PassDelta,
+        distill, redistill, DistillConfig, DistillLevel, Distilled, PassConfig, PassDelta, Tier,
     };
     pub use mssp_isa::{asm::assemble, Instr, PcSpan, Program, Reg};
-    pub use mssp_lint::{distill_validated, lint, LintConfig, LintId, Report, Severity};
+    pub use mssp_lint::{
+        distill_validated, lint, redistill_validated, LintConfig, LintId, Report, Severity,
+    };
     pub use mssp_machine::{Cell, Delta, MachineState, SeqMachine};
     pub use mssp_timing::{run_baseline, run_mssp, speedup, TimingConfig};
     pub use mssp_workloads::{workloads, Workload, CHECKSUM_REG};

@@ -21,6 +21,7 @@ const AUDITED: &[&str] = &[
     "crates/core/src/ring.rs",
     "crates/core/src/chan.rs",
     "crates/core/src/threaded.rs",
+    "crates/core/src/adaptive.rs",
     "crates/machine/src/arena.rs",
 ];
 
